@@ -1,0 +1,40 @@
+"""Figure 7: Mcbenchmark normalized energy over the CF x UCF grid.
+
+Paper: trend toward high uncore frequency and low core frequency
+(memory bound, needs bandwidth); true best 1.6|2.5 GHz at 20 threads,
+plugin selection 1.6|2.3 GHz.  Expected shape: best in the
+low-CF/high-UCF corner region, opposite of Lulesh.
+"""
+
+from benchmarks._common import cluster, tuned_outcome
+from repro.analysis.heatmap import energy_heatmap
+from repro.analysis.reporting import render_heatmap
+
+
+def _heatmap():
+    outcome = tuned_outcome("Mcb")
+    result = outcome.plugin_result
+    return energy_heatmap(
+        "Mcb",
+        threads=result.phase_threads,
+        cluster=cluster(),
+        selected=(
+            result.phase_configuration.core_freq_ghz,
+            result.phase_configuration.uncore_freq_ghz,
+        ),
+    )
+
+
+def test_fig7_mcb_heatmap(benchmark):
+    heatmap = benchmark.pedantic(_heatmap, rounds=1, iterations=1)
+    print()
+    print(render_heatmap(heatmap))
+    best_cf, best_ucf = heatmap.best
+    print(f"\npaper: best 1.6|2.5 (20 threads), plugin 1.6|2.3; "
+          f"ours: best {best_cf}|{best_ucf} ({heatmap.threads} threads), "
+          f"plugin {heatmap.selected}")
+    # Memory-bound trend: low CF, high UCF — the mirror image of Fig. 6.
+    assert best_cf <= 2.0
+    assert best_ucf >= 2.2
+    sel_value = heatmap.value_at(*heatmap.selected)
+    assert sel_value <= heatmap.best_value * 1.05

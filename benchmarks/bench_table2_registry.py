@@ -1,0 +1,30 @@
+"""Table II: the benchmark roster used for validation.
+
+Paper: 19 benchmarks across NPB-3.3, CORAL, Mantevo, LLCBench and the
+real-world application BEM4I; NPB (except the MZ variants) and miniFE
+are OpenMP, Kripke and CoMD are MPI-only, the rest are hybrid.
+"""
+
+from repro.analysis.reporting import render_roster
+from repro.workloads import registry
+from repro.workloads.application import ProgrammingModel
+
+
+def _roster():
+    return registry.roster()
+
+
+def test_table2_benchmark_roster(benchmark):
+    roster = benchmark.pedantic(_roster, rounds=1, iterations=1)
+    print()
+    print(render_roster(roster))
+    assert len(roster) == 19
+    by_name = {info.name: info for info in roster}
+    # Programming models as stated in Section V-B.
+    for name in ("CG", "DC", "EP", "FT", "IS", "MG", "BT", "miniFE"):
+        assert by_name[name].model is ProgrammingModel.OPENMP
+    for name in ("Kripke", "CoMD"):
+        assert by_name[name].model is ProgrammingModel.MPI
+    for name in ("BT-MZ", "SP-MZ", "Amg2013", "Lulesh", "XSBench", "Mcb",
+                 "miniMD", "Blasbench", "BEM4I"):
+        assert by_name[name].model is ProgrammingModel.HYBRID

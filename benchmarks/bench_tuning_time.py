@@ -1,0 +1,37 @@
+"""Section V-C: tuning time — model-based plugin vs exhaustive search.
+
+Paper: for Mcbenchmark with n regions and a k x l x m search space, the
+exhaustive approach of Sourouri et al. [7] costs n*k*l*m*t while the
+model-based plugin costs (k + 1 + 9)*t, or (k + 1 + 9) phase iterations
+when the main loop is progressive.  Expected shape: orders-of-magnitude
+reduction, plus the measured plugin run confirming the experiment count.
+"""
+
+from benchmarks._common import cluster, tuned_outcome
+from repro.analysis.reporting import render_tuning_time
+from repro.analysis.tuning_time import tuning_time_comparison
+
+
+def _compare():
+    cmp = tuning_time_comparison("Mcb", cluster=cluster(), num_regions=5)
+    outcome = tuned_outcome("Mcb")
+    return cmp, outcome.plugin_result
+
+
+def test_tuning_time_comparison(benchmark):
+    cmp, plugin = benchmark.pedantic(_compare, rounds=1, iterations=1)
+    print()
+    print(render_tuning_time(cmp))
+    print(f"\nmeasured plugin: {plugin.experiments_performed} experiments in "
+          f"{plugin.application_runs} application runs, "
+          f"{plugin.tuning_time_s:.0f} s simulated tuning time")
+    estimate = cmp.estimate
+    assert estimate.exhaustive_runs == 5 * 4 * 14 * 18  # n*k*l*m
+    assert estimate.model_based_experiments == 4 + 1 + 9  # k + 1 + 9
+    assert cmp.speedup_over_exhaustive > 300
+    # The measured plugin respects the k + 9 experiment budget.
+    assert plugin.experiments_performed <= 13
+    # Phase-iteration exploitation beats whole-run experiments.
+    assert cmp.model_based_phase_time_s < cmp.model_based_run_time_s
+    # And the actually-measured tuning time is far below exhaustive.
+    assert plugin.tuning_time_s < estimate.exhaustive_time_s / 100

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Memory-bound workload scenario: tuning Mcbenchmark.
+
+The paper's Figure 7 motivates region-based tuning with a Monte Carlo
+burnup benchmark that is the opposite of Lulesh: it wants a *low* core
+frequency and a *high* uncore frequency.  This example
+
+1. measures the ground-truth normalized-energy heatmap at the optimal
+   thread count (the Figure 7 view),
+2. runs the design-time analysis and prints the Table IV analogue,
+3. shows the trade-off: dynamic tuning saves energy but costs run time.
+"""
+
+from repro import (
+    Cluster,
+    ExecutionSimulator,
+    PeriscopeTuningFramework,
+    RRL,
+    TrainingConfig,
+    build_dataset,
+    train_network,
+)
+from repro.analysis.heatmap import energy_heatmap
+from repro.analysis.reporting import render_heatmap, render_region_configs
+from repro.workloads import registry
+
+
+def main() -> None:
+    cluster = Cluster(4)
+
+    print("== design-time analysis: Mcbenchmark ==")
+    dataset = build_dataset(registry.training_benchmarks())
+    model = train_network(
+        dataset.features, dataset.targets, config=TrainingConfig(epochs=10)
+    )
+    outcome = PeriscopeTuningFramework(cluster, model).tune("Mcb")
+    result = outcome.plugin_result
+
+    print("\n== Figure 7 analogue: normalized energy heatmap ==")
+    heatmap = energy_heatmap(
+        "Mcb",
+        threads=result.phase_threads,
+        cluster=cluster,
+        selected=result.global_frequencies,
+    )
+    print(render_heatmap(heatmap))
+    print(f"\ntrend: memory-bound -> optimum at low CF / high UCF "
+          f"(true best {heatmap.best[0]}|{heatmap.best[1]} GHz)")
+
+    print("\n== Table IV analogue: per-region configurations ==")
+    print(render_region_configs("Mcb", result.region_configurations))
+
+    print("\n== energy/performance trade-off under the RRL ==")
+    default = ExecutionSimulator(cluster.fresh_node(1)).run(registry.build("Mcb"))
+    tuned = ExecutionSimulator(cluster.fresh_node(1)).run(
+        registry.build("Mcb"),
+        controller=RRL(outcome.tuning_model),
+        instrumented=True,
+        instrumentation=outcome.instrumentation,
+    )
+    print(f"default: {default.time_s:6.1f} s, {default.node_energy_j:8.0f} J")
+    print(f"tuned:   {tuned.time_s:6.1f} s, {tuned.node_energy_j:8.0f} J")
+    print(f"energy saving {1 - tuned.node_energy_j / default.node_energy_j:+.1%}, "
+          f"time cost {tuned.time_s / default.time_s - 1:+.1%}")
+
+
+if __name__ == "__main__":
+    main()

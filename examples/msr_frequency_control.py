@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Substrate tour: MSR-level frequency control and energy metering.
+
+Shows the hardware layers every higher-level component builds on —
+useful when porting the stack to real hardware, where these calls map
+1:1 onto ``msr-tools`` / ``x86_adapt`` / RAPL / HDEEM:
+
+* programming ``IA32_PERF_CTL`` and ``MSR_UNCORE_RATIO_LIMIT`` directly,
+* the same switches through the x86_adapt knob API and the READEX PCPs,
+* reading package/DRAM energy via RAPL (with counter wraparound),
+* an HDEEM measurement window around a workload run.
+"""
+
+from repro import Cluster, ExecutionSimulator
+from repro.hardware.msr import MSR, ghz_of_ratio, ratio_of_ghz
+from repro.hardware.msr_tools import rdmsr, wrmsr
+from repro.hardware.rapl import RaplDomain
+from repro.hardware.x86_adapt import X86AdaptKnob
+from repro.readex.pcp import CpuFreqPlugin, UncoreFreqPlugin
+from repro.tools.measure_rapl import measure_rapl
+from repro.workloads import registry
+
+
+def main() -> None:
+    node = Cluster(2).fresh_node(0)
+
+    print("== raw MSR access (msr-tools level) ==")
+    # Set core 0 to 1.8 GHz by writing the target P-state ratio.
+    wrmsr(node.msr, 0, MSR.IA32_PERF_CTL, ratio_of_ghz(1.8) << 8)
+    status = rdmsr(node.msr, 0, MSR.IA32_PERF_STATUS)
+    print(f"core 0 now runs at {ghz_of_ratio((status >> 8) & 0xFF)} GHz")
+
+    print("\n== x86_adapt knob API (what the PCPs use) ==")
+    node.x86_adapt.set_setting(0, X86AdaptKnob.INTEL_TARGET_PSTATE, 25)
+    node.x86_adapt.set_setting(0, X86AdaptKnob.INTEL_UNCORE_RATIO, 22)
+    print(f"core 0: {node.dvfs.get_frequency(0)} GHz, "
+          f"socket 0 uncore: {node.ufs.get_frequency(0)} GHz")
+
+    print("\n== READEX parameter control plugins ==")
+    CpuFreqPlugin().apply(node, 2.0)
+    UncoreFreqPlugin().apply(node, 1.5)
+    print(f"node pinned to calibration point: "
+          f"{node.core_freq_ghz}|{node.uncore_freq_ghz} GHz (CF|UCF)")
+
+    print("\n== energy metering around a workload ==")
+    node.hdeem.start()
+    with measure_rapl(node) as rapl:
+        run = ExecutionSimulator(node).run(registry.build("EP"))
+    hdeem = node.hdeem.stop()
+    pkg = node.rapl.read_node_joules(RaplDomain.PACKAGE)
+    dram = node.rapl.read_node_joules(RaplDomain.DRAM)
+    print(f"run time:          {run.time_s:8.2f} s")
+    print(f"HDEEM node energy: {hdeem.energy_j:8.0f} J "
+          f"({hdeem.samples} samples at 1 kSa/s)")
+    print(f"RAPL CPU energy:   {rapl.cpu_energy_j:8.0f} J "
+          f"(package {pkg:.0f} J + DRAM {dram:.0f} J cumulative)")
+    print(f"blade overhead (node - CPU): "
+          f"{hdeem.energy_j - rapl.cpu_energy_j:8.0f} J")
+
+
+if __name__ == "__main__":
+    main()

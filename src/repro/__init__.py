@@ -1,0 +1,66 @@
+"""repro — region-based energy-aware tuning of HPC applications.
+
+A faithful, self-contained reproduction of *"Modelling DVFS and UFS for
+Region-Based Energy Aware Tuning of HPC Applications"* (Chadha & Gerndt,
+IPDPS Workshops 2019): the PTF tuning plugin with its neural energy
+model, the READEX runtime stack it plugs into, and a simulated
+Haswell-EP cluster standing in for the paper's testbed.
+
+Quick start::
+
+    from repro import (
+        Cluster, PeriscopeTuningFramework, build_dataset,
+        train_network, TrainingConfig,
+    )
+    from repro.workloads import registry
+
+    dataset = build_dataset(registry.training_benchmarks())
+    model = train_network(dataset.features, dataset.targets,
+                          config=TrainingConfig(epochs=10))
+    outcome = PeriscopeTuningFramework(Cluster(4), model).tune("Lulesh")
+    print(outcome.plugin_result.phase_configuration)
+
+See ``examples/`` for runnable end-to-end scenarios and ``benchmarks/``
+for the reproduction of every table and figure of the paper.
+"""
+
+from repro import config
+from repro.errors import ReproError
+from repro.execution.simulator import (
+    ExecutionSimulator,
+    OperatingPoint,
+    RunResult,
+)
+from repro.hardware.cluster import Cluster
+from repro.hardware.node import ComputeNode
+from repro.modeling.dataset import EnergyDataset, build_dataset
+from repro.modeling.network import EnergyNetwork
+from repro.modeling.training import TrainedModel, TrainingConfig, train_network
+from repro.ptf.framework import PeriscopeTuningFramework, TuningOutcome
+from repro.readex.rrl import RRL
+from repro.readex.tuning_model import TuningModel
+from repro.workloads import registry
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "config",
+    "ReproError",
+    "ExecutionSimulator",
+    "OperatingPoint",
+    "RunResult",
+    "Cluster",
+    "ComputeNode",
+    "EnergyDataset",
+    "build_dataset",
+    "EnergyNetwork",
+    "TrainedModel",
+    "TrainingConfig",
+    "train_network",
+    "PeriscopeTuningFramework",
+    "TuningOutcome",
+    "RRL",
+    "TuningModel",
+    "registry",
+    "__version__",
+]

@@ -1,0 +1,31 @@
+"""Experiment analyses — one producer per paper figure/table.
+
+Each module computes the data behind one piece of the evaluation:
+
+* :mod:`repro.analysis.variability` — Figures 2 and 3 (node-to-node
+  power variability and its removal by normalisation);
+* :mod:`repro.analysis.heatmap` — Figures 6 and 7 (normalized energy
+  over the CF x UCF grid with best/selected/2%-plateau markers);
+* :mod:`repro.analysis.savings` — Table VI (static vs dynamic tuning);
+* :mod:`repro.analysis.tuning_time` — the Section V-C comparison;
+* :mod:`repro.analysis.tradeoffs` — energy/performance trade-off curves;
+* :mod:`repro.analysis.reporting` — plain-text rendering of all of it.
+"""
+
+from repro.analysis.variability import VariabilityStudy, variability_study
+from repro.analysis.heatmap import EnergyHeatmap, energy_heatmap
+from repro.analysis.savings import BenchmarkSavings, compare_static_dynamic
+from repro.analysis.tuning_time import tuning_time_comparison
+from repro.analysis.tradeoffs import TradeoffPoint, energy_time_tradeoff
+
+__all__ = [
+    "VariabilityStudy",
+    "variability_study",
+    "EnergyHeatmap",
+    "energy_heatmap",
+    "BenchmarkSavings",
+    "compare_static_dynamic",
+    "tuning_time_comparison",
+    "TradeoffPoint",
+    "energy_time_tradeoff",
+]

@@ -1,0 +1,102 @@
+"""Normalized-energy heatmaps over the CF x UCF grid (Figures 6 and 7).
+
+The figures show, for one benchmark at its optimal thread count, the
+measured normalized node energy of every frequency combination, with the
+true optimum, the plugin-selected configuration and the set of
+configurations within 2% of the optimum highlighted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import config
+from repro.execution.simulator import ExecutionSimulator
+from repro.hardware.cluster import Cluster
+from repro.workloads import registry
+
+#: The paper highlights configurations within 2% of the minimum in pink.
+PLATEAU_THRESHOLD = 0.02
+
+
+@dataclass
+class EnergyHeatmap:
+    """Measured normalized energies on the full frequency grid."""
+
+    benchmark: str
+    threads: int
+    core_frequencies: tuple[float, ...]
+    uncore_frequencies: tuple[float, ...]
+    normalized: np.ndarray  #: shape (len(cfs), len(ucfs))
+    selected: tuple[float, float] | None = None  #: plugin's pick (yellow)
+
+    @property
+    def best(self) -> tuple[float, float]:
+        """True optimum (red in the figures)."""
+        i, j = np.unravel_index(int(np.argmin(self.normalized)), self.normalized.shape)
+        return (self.core_frequencies[i], self.uncore_frequencies[j])
+
+    @property
+    def best_value(self) -> float:
+        return float(self.normalized.min())
+
+    def value_at(self, cf: float, ucf: float) -> float:
+        i = self.core_frequencies.index(cf)
+        j = self.uncore_frequencies.index(ucf)
+        return float(self.normalized[i, j])
+
+    def plateau(self, threshold: float = PLATEAU_THRESHOLD) -> list[tuple[float, float]]:
+        """Configurations within ``threshold`` of the optimum (pink)."""
+        limit = self.best_value * (1.0 + threshold)
+        out = []
+        for i, cf in enumerate(self.core_frequencies):
+            for j, ucf in enumerate(self.uncore_frequencies):
+                if self.normalized[i, j] <= limit:
+                    out.append((cf, ucf))
+        return out
+
+    def selected_within_plateau(self, threshold: float = PLATEAU_THRESHOLD) -> bool:
+        """Whether the plugin's pick lands in the near-optimal plateau."""
+        if self.selected is None:
+            return False
+        return self.selected in set(self.plateau(threshold))
+
+
+def energy_heatmap(
+    benchmark: str,
+    *,
+    threads: int,
+    cluster: Cluster | None = None,
+    node_id: int = 0,
+    selected: tuple[float, float] | None = None,
+    seed: int = config.DEFAULT_SEED,
+) -> EnergyHeatmap:
+    """Measure the full grid for one benchmark at a fixed thread count."""
+    cluster = cluster or Cluster(2, seed=seed)
+    cfs = config.CORE_FREQUENCIES_GHZ
+    ucfs = config.UNCORE_FREQUENCIES_GHZ
+    energies = np.empty((len(cfs), len(ucfs)))
+    for i, cf in enumerate(cfs):
+        for j, ucf in enumerate(ucfs):
+            node = cluster.fresh_node(node_id)
+            node.set_frequencies(cf, ucf)
+            run = ExecutionSimulator(node, seed=seed).run(
+                registry.build(benchmark),
+                threads=threads,
+                run_key=("heatmap", cf, ucf),
+            )
+            energies[i, j] = run.node_energy_j
+    cal = energies[
+        cfs.index(config.CALIBRATION_CORE_FREQ_GHZ),
+        ucfs.index(config.CALIBRATION_UNCORE_FREQ_GHZ),
+    ]
+    return EnergyHeatmap(
+        benchmark=benchmark,
+        threads=threads,
+        core_frequencies=cfs,
+        uncore_frequencies=ucfs,
+        normalized=energies / cal,
+        selected=selected,
+    )

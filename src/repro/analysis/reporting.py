@@ -1,0 +1,192 @@
+"""Plain-text rendering of every reproduced table and figure.
+
+The benchmark harness prints these; they mirror the layout of the
+paper's tables so paper-vs-measured comparison is direct.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.heatmap import EnergyHeatmap
+from repro.analysis.savings import BenchmarkSavings
+from repro.analysis.tuning_time import TuningTimeComparison
+from repro.analysis.variability import VariabilityStudy
+from repro.execution.simulator import OperatingPoint
+from repro.modeling.selection import CounterSelection
+from repro.util.tables import render_table
+from repro.workloads.application import BenchmarkInfo
+
+
+def render_variability(study: VariabilityStudy) -> str:
+    rows = []
+    for node_id in sorted(study.raw_energy_j):
+        raw = study.raw_energy_j[node_id]
+        norm = study.normalized_energy[node_id]
+        rows.append(
+            [f"node{node_id:04d}", raw.min(), raw.max(), norm.min(), norm.max()]
+        )
+    rows.append(
+        ["spread", study.raw_spread, "", study.normalized_spread, ""]
+    )
+    return render_table(
+        ["run", "raw min (J)", "raw max (J)", "norm min", "norm max"],
+        rows,
+        title=(
+            f"{study.benchmark}: node energy across {study.axis}-frequency "
+            f"sweep ({len(study.raw_energy_j)} nodes); normalization shrinks "
+            f"node-to-node spread {study.spread_reduction:.1f}x"
+        ),
+    )
+
+
+def render_counter_selection(selection: CounterSelection) -> str:
+    rows = [["(base)", "n/a"]]
+    for name, vif in zip(selection.counters, selection.vifs):
+        rows.append([name, f"{vif:.3f}"])
+    rows.append(["mean VIF", f"{selection.mean_vif:.3f}"])
+    return render_table(
+        ["Counter", "VIF"],
+        rows[1:],
+        title=f"Table I: selected counters (adj. R^2 = {selection.adjusted_r2:.3f})",
+    )
+
+
+def render_loocv(results: dict[str, float], *, regression_mape: float | None = None) -> str:
+    rows = [[name, f"{v:.2f}"] for name, v in results.items()]
+    mean = float(np.mean(list(results.values())))
+    rows.append(["average", f"{mean:.2f}"])
+    if regression_mape is not None:
+        rows.append(["regression 10-fold CV", f"{regression_mape:.2f}"])
+    return render_table(
+        ["Benchmark", "MAPE (%)"],
+        rows,
+        title="Figure 5: LOOCV mean absolute percentage error",
+    )
+
+
+def render_heatmap(heatmap: EnergyHeatmap) -> str:
+    lines = [
+        f"Figure: {heatmap.benchmark} normalized node energy, "
+        f"{heatmap.threads} OpenMP threads",
+        "UCF(GHz) ->  " + " ".join(f"{u:5.1f}" for u in heatmap.uncore_frequencies),
+    ]
+    best = heatmap.best
+    plateau = set(heatmap.plateau())
+    for i, cf in enumerate(heatmap.core_frequencies):
+        cells = []
+        for j, ucf in enumerate(heatmap.uncore_frequencies):
+            value = heatmap.normalized[i, j]
+            mark = " "
+            if (cf, ucf) == best:
+                mark = "*"  # red in the paper
+            elif heatmap.selected == (cf, ucf):
+                mark = "+"  # yellow in the paper
+            elif (cf, ucf) in plateau:
+                mark = "."  # pink in the paper
+            cells.append(f"{value:4.2f}{mark}")
+        lines.append(f"CF {cf:3.1f}:     " + " ".join(cells))
+    lines.append(
+        f"* true best {best[0]}|{best[1]} GHz (CF|UCF), "
+        f"+ plugin selection {heatmap.selected}, . within 2% of optimum"
+    )
+    return "\n".join(lines)
+
+
+def render_roster(roster: list[BenchmarkInfo]) -> str:
+    by_suite: dict[str, list[str]] = {}
+    for info in roster:
+        by_suite.setdefault(info.suite, []).append(info.name)
+    rows = [[suite, ", ".join(names)] for suite, names in by_suite.items()]
+    return render_table(["Suite", "Benchmarks"], rows, title="Table II: benchmarks")
+
+
+def render_region_configs(
+    benchmark: str, configs: dict[str, OperatingPoint]
+) -> str:
+    rows = [
+        [region, cfg.threads, f"{cfg.core_freq_ghz:.2f}", f"{cfg.uncore_freq_ghz:.2f}"]
+        for region, cfg in configs.items()
+    ]
+    return render_table(
+        ["Region", "OpenMP threads", "CF (GHz)", "UCF (GHz)"],
+        rows,
+        title=f"Optimal configuration per significant region of {benchmark}",
+    )
+
+
+def render_static_configs(results: dict[str, OperatingPoint]) -> str:
+    rows = [
+        [name, cfg.threads, f"{cfg.core_freq_ghz:.2f}", f"{cfg.uncore_freq_ghz:.2f}"]
+        for name, cfg in results.items()
+    ]
+    return render_table(
+        ["Benchmark", "OpenMP threads", "CF (GHz)", "UCF (GHz)"],
+        rows,
+        title="Table V: optimal static configuration",
+    )
+
+
+def _pct(x: float) -> str:
+    return f"{x * 100:+.2f}%"
+
+
+def render_savings(rows_data: list[BenchmarkSavings]) -> str:
+    rows = []
+    for s in rows_data:
+        rows.append(
+            [
+                s.benchmark,
+                f"{_pct(s.static_job_energy_saving)}/{_pct(s.static_cpu_energy_saving)}"
+                f"/{_pct(s.static_time_saving)}",
+                f"{_pct(s.dynamic_job_energy_saving)}/{_pct(s.dynamic_cpu_energy_saving)}"
+                f"/{_pct(s.dynamic_time_saving)}",
+                _pct(s.config_setting_perf_reduction),
+                _pct(s.overhead),
+            ]
+        )
+    static_job = np.mean([s.static_job_energy_saving for s in rows_data])
+    static_cpu = np.mean([s.static_cpu_energy_saving for s in rows_data])
+    dyn_job = np.mean([s.dynamic_job_energy_saving for s in rows_data])
+    dyn_cpu = np.mean([s.dynamic_cpu_energy_saving for s in rows_data])
+    rows.append(
+        [
+            "average",
+            f"{_pct(static_job)}/{_pct(static_cpu)}",
+            f"{_pct(dyn_job)}/{_pct(dyn_cpu)}",
+            "",
+            "",
+        ]
+    )
+    return render_table(
+        [
+            "Benchmark",
+            "static: job E/CPU E/time",
+            "dynamic: job E/CPU E/time",
+            "config-setting perf",
+            "DVFS/UFS/Score-P overhead",
+        ],
+        rows,
+        title="Table VI: static and dynamic tuning results",
+    )
+
+
+def render_tuning_time(cmp: TuningTimeComparison) -> str:
+    e = cmp.estimate
+    rows = [
+        ["application run time t", f"{cmp.single_run_time_s:.1f} s"],
+        ["phase iteration time", f"{cmp.phase_time_s:.1f} s"],
+        ["regions n", e.regions],
+        ["search space k x l x m", f"{e.thread_values} x {e.core_freq_values} x {e.uncore_freq_values}"],
+        ["exhaustive [7]: n*k*l*m runs", e.exhaustive_runs],
+        ["exhaustive time", f"{e.exhaustive_time_s / 3600:.1f} h"],
+        ["model-based: (k+1+9) experiments", e.model_based_experiments],
+        ["model-based time (full runs)", f"{e.model_based_time_s / 60:.1f} min"],
+        ["model-based time (phase iterations)", f"{cmp.model_based_phase_time_s / 60:.1f} min"],
+        ["speedup over exhaustive", f"{cmp.speedup_over_exhaustive:.0f}x"],
+    ]
+    return render_table(
+        ["Quantity", "Value"],
+        rows,
+        title=f"Section V-C: tuning time for {cmp.benchmark}",
+    )

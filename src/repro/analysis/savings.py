@@ -1,0 +1,189 @@
+"""Static vs dynamic tuning comparison (Table VI, Sections V-D and V-E).
+
+For one benchmark:
+
+* the **default** run: uninstrumented, platform default 2.5|3.0 GHz,
+  24 threads — job energy and time via ``sacct``, CPU energy via
+  ``measure-rapl``;
+* the **static** run: same, with the best static configuration applied
+  before launch;
+* the **dynamic** run: instrumented binary under the RRL with the tuning
+  model — includes configuration effects, switching latencies and
+  Score-P overhead;
+* the **config-setting** run: RRL switching but uninstrumented,
+  isolating the performance reduction caused purely by the tuned
+  configurations (the "perf. reduction config setting" column);
+
+savings are computed relative to the default run and averaged over
+``runs`` repetitions (the paper averages over five).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import config
+from repro.execution.simulator import ExecutionSimulator, OperatingPoint
+from repro.execution.slurm import SlurmAccounting
+from repro.hardware.cluster import Cluster
+from repro.readex.rrl import RRL, StaticController
+from repro.readex.tuning_model import TuningModel
+from repro.scorep.instrumentation import Instrumentation
+from repro.workloads import registry
+
+
+@dataclass(frozen=True)
+class RunAverages:
+    """Mean job energy / CPU energy / time over repeated runs."""
+
+    job_energy_j: float
+    cpu_energy_j: float
+    time_s: float
+
+
+@dataclass(frozen=True)
+class BenchmarkSavings:
+    """One Table VI row."""
+
+    benchmark: str
+    static_config: OperatingPoint
+    default: RunAverages
+    static: RunAverages
+    dynamic: RunAverages
+    config_only: RunAverages
+
+    # -- static tuning savings -------------------------------------------
+    @property
+    def static_job_energy_saving(self) -> float:
+        return 1.0 - self.static.job_energy_j / self.default.job_energy_j
+
+    @property
+    def static_cpu_energy_saving(self) -> float:
+        return 1.0 - self.static.cpu_energy_j / self.default.cpu_energy_j
+
+    @property
+    def static_time_saving(self) -> float:
+        return 1.0 - self.static.time_s / self.default.time_s
+
+    # -- dynamic tuning savings -------------------------------------------
+    @property
+    def dynamic_job_energy_saving(self) -> float:
+        return 1.0 - self.dynamic.job_energy_j / self.default.job_energy_j
+
+    @property
+    def dynamic_cpu_energy_saving(self) -> float:
+        return 1.0 - self.dynamic.cpu_energy_j / self.default.cpu_energy_j
+
+    @property
+    def dynamic_time_saving(self) -> float:
+        """Negative when dynamic tuning slows the application down."""
+        return 1.0 - self.dynamic.time_s / self.default.time_s
+
+    @property
+    def config_setting_perf_reduction(self) -> float:
+        """Time increase caused by the tuned configurations alone."""
+        return 1.0 - self.config_only.time_s / self.default.time_s
+
+    @property
+    def overhead(self) -> float:
+        """Residual DVFS/UFS/Score-P overhead: total slowdown minus the
+        configuration-setting part (both negative when costing time)."""
+        return self.dynamic_time_saving - self.config_setting_perf_reduction
+
+
+def _averaged_runs(
+    benchmark: str,
+    cluster: Cluster,
+    node_id: int,
+    *,
+    controller_factory,
+    threads: int,
+    instrumented: bool,
+    instrumentation: Instrumentation | None,
+    runs: int,
+    key: str,
+    seed: int,
+) -> RunAverages:
+    accounting = SlurmAccounting()
+    cpu, job, time = [], [], []
+    for r in range(runs):
+        app = registry.build(benchmark)
+        node = cluster.fresh_node(node_id)
+        node.reset_to_default()
+        instr = instrumentation
+        if instr is not None:
+            instr = Instrumentation(app=app, filtered=set(instr.filtered))
+        result = ExecutionSimulator(node, seed=seed).run(
+            app,
+            threads=threads,
+            controller=controller_factory() if controller_factory else None,
+            instrumented=instrumented,
+            instrumentation=instr,
+            run_key=(key, r),
+        )
+        record = accounting.submit(result)
+        job.append(record.consumed_energy_j)
+        time.append(record.elapsed_s)
+        cpu.append(result.cpu_energy_j)
+    return RunAverages(
+        job_energy_j=float(np.mean(job)),
+        cpu_energy_j=float(np.mean(cpu)),
+        time_s=float(np.mean(time)),
+    )
+
+
+def compare_static_dynamic(
+    benchmark: str,
+    static_config: OperatingPoint,
+    tuning_model: TuningModel,
+    *,
+    instrumentation: Instrumentation | None = None,
+    cluster: Cluster | None = None,
+    node_id: int = 0,
+    runs: int = 5,
+    seed: int = config.DEFAULT_SEED,
+) -> BenchmarkSavings:
+    """Produce one Table VI row for ``benchmark``."""
+    cluster = cluster or Cluster(2, seed=seed)
+    default = _averaged_runs(
+        benchmark, cluster, node_id,
+        controller_factory=None,
+        threads=config.DEFAULT_OPENMP_THREADS,
+        instrumented=False,
+        instrumentation=None,
+        runs=runs, key="default", seed=seed,
+    )
+    static = _averaged_runs(
+        benchmark, cluster, node_id,
+        controller_factory=lambda: StaticController(static_config),
+        threads=static_config.threads,
+        instrumented=False,
+        instrumentation=None,
+        runs=runs, key="static", seed=seed,
+    )
+    dynamic = _averaged_runs(
+        benchmark, cluster, node_id,
+        controller_factory=lambda: RRL(tuning_model),
+        threads=config.DEFAULT_OPENMP_THREADS,
+        instrumented=True,
+        instrumentation=instrumentation,
+        runs=runs, key="dynamic", seed=seed,
+    )
+    config_only = _averaged_runs(
+        benchmark, cluster, node_id,
+        controller_factory=lambda: RRL(tuning_model),
+        threads=config.DEFAULT_OPENMP_THREADS,
+        instrumented=False,
+        instrumentation=None,
+        runs=runs, key="config-only", seed=seed,
+    )
+    return BenchmarkSavings(
+        benchmark=benchmark,
+        static_config=static_config,
+        default=default,
+        static=static,
+        dynamic=dynamic,
+        config_only=config_only,
+    )

@@ -1,0 +1,79 @@
+"""Energy/performance trade-off analysis (Section V-D discussion).
+
+Sweeps configurations and reports (time, energy) pairs so the
+trade-off frontier can be examined: static tuning may buy energy at no
+time cost for compute-bound codes, while aggressive core-frequency
+reduction trades time for energy on memory-bound codes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import config
+from repro.execution.simulator import ExecutionSimulator, OperatingPoint
+from repro.hardware.cluster import Cluster
+from repro.workloads import registry
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One configuration's normalized (time, energy) outcome."""
+
+    configuration: OperatingPoint
+    relative_time: float    #: vs the platform default
+    relative_energy: float  #: vs the platform default
+
+    @property
+    def pareto_key(self) -> tuple[float, float]:
+        return (self.relative_time, self.relative_energy)
+
+
+def energy_time_tradeoff(
+    benchmark: str,
+    configurations: list[OperatingPoint],
+    *,
+    cluster: Cluster | None = None,
+    node_id: int = 0,
+    seed: int = config.DEFAULT_SEED,
+) -> list[TradeoffPoint]:
+    """Evaluate configurations relative to the platform default."""
+    cluster = cluster or Cluster(2, seed=seed)
+    default_point = OperatingPoint()
+    points = list(configurations)
+    if default_point not in points:
+        points.insert(0, default_point)
+    outcomes: dict[OperatingPoint, tuple[float, float]] = {}
+    for point in points:
+        node = cluster.fresh_node(node_id)
+        node.set_frequencies(point.core_freq_ghz, point.uncore_freq_ghz)
+        run = ExecutionSimulator(node, seed=seed).run(
+            registry.build(benchmark),
+            threads=point.threads,
+            run_key=("tradeoff", str(point)),
+        )
+        outcomes[point] = (run.time_s, run.node_energy_j)
+    t0, e0 = outcomes[default_point]
+    return [
+        TradeoffPoint(
+            configuration=point,
+            relative_time=t / t0,
+            relative_energy=e / e0,
+        )
+        for point, (t, e) in outcomes.items()
+    ]
+
+
+def pareto_front(points: list[TradeoffPoint]) -> list[TradeoffPoint]:
+    """Non-dominated subset (minimal time and energy)."""
+    front = []
+    for p in points:
+        dominated = any(
+            q.relative_time <= p.relative_time
+            and q.relative_energy <= p.relative_energy
+            and q.pareto_key != p.pareto_key
+            for q in points
+        )
+        if not dominated:
+            front.append(p)
+    return sorted(front, key=lambda p: p.relative_time)

@@ -1,0 +1,109 @@
+"""Node power variability study (Figures 2 and 3, Section IV-B).
+
+Runs one benchmark on several compute nodes across a frequency sweep and
+reports raw and normalized node energies.  The paper's observation:
+absolute energies spread node-to-node (manufacturing variability), but
+normalising each node's series by its own energy at the calibration
+point collapses the spread — which is why the model predicts
+*normalized* energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import config
+from repro.execution.simulator import ExecutionSimulator
+from repro.hardware.cluster import Cluster
+from repro.workloads import registry
+
+
+@dataclass
+class VariabilityStudy:
+    """Energy series per node across one frequency axis."""
+
+    benchmark: str
+    axis: str                      #: "core" or "uncore"
+    frequencies: tuple[float, ...]
+    raw_energy_j: dict[int, np.ndarray]        #: node id -> series
+    normalized_energy: dict[int, np.ndarray]   #: node id -> series
+
+    def _spread(self, series: dict[int, np.ndarray]) -> float:
+        """Mean across the axis of the relative node-to-node spread."""
+        matrix = np.vstack([series[n] for n in sorted(series)])
+        return float(np.mean(matrix.std(axis=0) / matrix.mean(axis=0)))
+
+    @property
+    def raw_spread(self) -> float:
+        return self._spread(self.raw_energy_j)
+
+    @property
+    def normalized_spread(self) -> float:
+        return self._spread(self.normalized_energy)
+
+    @property
+    def spread_reduction(self) -> float:
+        """Factor by which normalisation shrinks node-to-node spread."""
+        return self.raw_spread / max(self.normalized_spread, 1e-12)
+
+
+def variability_study(
+    benchmark: str = "Lulesh",
+    *,
+    axis: str = "core",
+    nodes: tuple[int, ...] = (0, 1, 2, 3),
+    threads: int = config.DEFAULT_OPENMP_THREADS,
+    cluster: Cluster | None = None,
+    seed: int = config.DEFAULT_SEED,
+) -> VariabilityStudy:
+    """Reproduce the Figure 2 (axis="core") / Figure 3 (axis="uncore") data.
+
+    Scenario 1 of Section IV-B varies CF with UCF fixed at 1.5 GHz;
+    scenario 2 varies UCF with CF fixed at 2.0 GHz.
+    """
+    if axis == "core":
+        frequencies = config.CORE_FREQUENCIES_GHZ
+        points = [(cf, config.CALIBRATION_UNCORE_FREQ_GHZ) for cf in frequencies]
+    elif axis == "uncore":
+        frequencies = config.UNCORE_FREQUENCIES_GHZ
+        points = [(config.CALIBRATION_CORE_FREQ_GHZ, ucf) for ucf in frequencies]
+    else:
+        raise ValueError(f"axis must be 'core' or 'uncore', got {axis!r}")
+    cluster = cluster or Cluster(max(nodes) + 1, seed=seed)
+    app_builder = lambda: registry.build(benchmark)
+    raw: dict[int, np.ndarray] = {}
+    normalized: dict[int, np.ndarray] = {}
+    cal_point = (
+        config.CALIBRATION_CORE_FREQ_GHZ,
+        config.CALIBRATION_UNCORE_FREQ_GHZ,
+    )
+    for node_id in nodes:
+        series = []
+        for cf, ucf in points:
+            node = cluster.fresh_node(node_id)
+            node.set_frequencies(cf, ucf)
+            run = ExecutionSimulator(node, seed=seed).run(
+                app_builder(), threads=threads, run_key=("variability", axis, cf, ucf)
+            )
+            series.append(run.node_energy_j)
+        # Calibration energy for this node (measured in the same sweep when
+        # the axis passes through it, otherwise measured separately).
+        if cal_point in points:
+            cal_energy = series[points.index(cal_point)]
+        else:
+            node = cluster.fresh_node(node_id)
+            node.set_frequencies(*cal_point)
+            cal_energy = ExecutionSimulator(node, seed=seed).run(
+                app_builder(), threads=threads, run_key=("variability-cal",)
+            ).node_energy_j
+        raw[node_id] = np.asarray(series)
+        normalized[node_id] = np.asarray(series) / cal_energy
+    return VariabilityStudy(
+        benchmark=benchmark,
+        axis=axis,
+        frequencies=frequencies,
+        raw_energy_j=raw,
+        normalized_energy=normalized,
+    )

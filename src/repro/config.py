@@ -1,0 +1,134 @@
+"""Platform constants for the simulated experimental system.
+
+The values mirror the Taurus *haswell* partition used in the paper
+(Section V-A): dual-socket Intel Xeon E5-2680v3 (Haswell-EP), 12 cores per
+socket, 64 GB of main memory, DVFS range 1.2--2.5 GHz, UFS range
+1.3--3.0 GHz, HDEEM energy instrumentation, Hyper-Threading and Turbo
+Boost disabled.
+
+Everything that later layers treat as a property of "the machine" is
+defined here once so tests, benchmarks and examples agree on the platform.
+"""
+
+from __future__ import annotations
+
+# --------------------------------------------------------------------------
+# Topology (Intel Xeon E5-2680v3, Haswell-EP, 2 sockets)
+# --------------------------------------------------------------------------
+SOCKETS_PER_NODE = 2
+CORES_PER_SOCKET = 12
+CORES_PER_NODE = SOCKETS_PER_NODE * CORES_PER_SOCKET  # 24
+MEMORY_GB_PER_NODE = 64
+
+# --------------------------------------------------------------------------
+# Frequency domains (GHz).  Frequencies are exposed in 100 MHz steps, the
+# granularity of the PERF_CTL / UNCORE_RATIO_LIMIT ratio fields (ratio x
+# 100 MHz bus clock).
+# --------------------------------------------------------------------------
+FREQ_STEP_GHZ = 0.1
+BUS_CLOCK_GHZ = 0.1  # ratio unit for MSR encodings
+
+CORE_FREQ_MIN_GHZ = 1.2
+CORE_FREQ_MAX_GHZ = 2.5
+UNCORE_FREQ_MIN_GHZ = 1.3
+UNCORE_FREQ_MAX_GHZ = 3.0
+
+
+def _freq_range(lo: float, hi: float) -> tuple[float, ...]:
+    n = int(round((hi - lo) / FREQ_STEP_GHZ)) + 1
+    return tuple(round(lo + i * FREQ_STEP_GHZ, 1) for i in range(n))
+
+
+#: All supported core frequencies, ascending (14 DVFS states).
+CORE_FREQUENCIES_GHZ: tuple[float, ...] = _freq_range(CORE_FREQ_MIN_GHZ, CORE_FREQ_MAX_GHZ)
+#: All supported uncore frequencies, ascending (18 UFS states).
+UNCORE_FREQUENCIES_GHZ: tuple[float, ...] = _freq_range(UNCORE_FREQ_MIN_GHZ, UNCORE_FREQ_MAX_GHZ)
+
+assert len(CORE_FREQUENCIES_GHZ) == 14
+assert len(UNCORE_FREQUENCIES_GHZ) == 18
+
+#: Default (governor) operating point for any job on the platform (Sec. V-D).
+DEFAULT_CORE_FREQ_GHZ = 2.5
+DEFAULT_UNCORE_FREQ_GHZ = 3.0
+#: Calibration operating point used for all model-input measurements (Sec. IV-A).
+CALIBRATION_CORE_FREQ_GHZ = 2.0
+CALIBRATION_UNCORE_FREQ_GHZ = 1.5
+#: Default OpenMP thread count for OpenMP / hybrid applications.
+DEFAULT_OPENMP_THREADS = 24
+#: Thread sweep used during training-data collection and tuning step 1.
+OPENMP_THREAD_CANDIDATES = (12, 16, 20, 24)
+
+# --------------------------------------------------------------------------
+# Switching / measurement latencies (Section V-E)
+# --------------------------------------------------------------------------
+#: Transition latency for changing the frequency of one core.
+DVFS_TRANSITION_LATENCY_S = 21e-6
+#: Transition latency for changing the uncore frequency of one socket.
+UFS_TRANSITION_LATENCY_S = 20e-6
+#: HDEEM sampling rate (1 kSa/s) and average measurement start delay (5 ms).
+HDEEM_SAMPLE_RATE_HZ = 1000.0
+HDEEM_MEASUREMENT_DELAY_S = 5e-3
+#: Significant-region threshold used by readex-dyn-detect (Section III-A).
+SIGNIFICANT_REGION_THRESHOLD_S = 0.100
+
+# --------------------------------------------------------------------------
+# Score-P instrumentation cost model.  A probe (region enter or exit,
+# including OpenMP/MPI wrapper events that cannot be filtered away) costs a
+# fixed overhead on the measured process.
+# --------------------------------------------------------------------------
+SCOREP_PROBE_OVERHEAD_S = 1.8e-6
+
+# --------------------------------------------------------------------------
+# PAPI limitations (Section IV-A): 56 preset counters are available, the PMU
+# can record at most four programmable events simultaneously, so obtaining
+# all counters requires multiple runs.
+# --------------------------------------------------------------------------
+PAPI_MAX_SIMULTANEOUS_EVENTS = 4
+PAPI_NUM_PRESET_COUNTERS = 56
+PAPI_NUM_NATIVE_COUNTERS = 162
+
+# --------------------------------------------------------------------------
+# Ground-truth power-model coefficients (Haswell-EP-like magnitudes).
+# The absolute wattages are representative, not measured; see DESIGN.md §5.
+# --------------------------------------------------------------------------
+#: Idle/static node power (both sockets + board) at nominal voltage, watts.
+NODE_IDLE_POWER_W = 70.0
+#: Non-CPU blade power (fans, NIC, board) included in node/job energy but
+#: invisible to RAPL, watts.
+BLADE_POWER_W = 45.0
+#: Per-core dynamic power coefficients: p = CORE_DYN_CUBE * f^3 + CORE_DYN_LIN * f.
+CORE_DYN_CUBE_W_PER_GHZ3 = 0.18
+CORE_DYN_LIN_W_PER_GHZ = 0.65
+#: Activity factor for a core that is stalled on memory.
+STALLED_CORE_ACTIVITY = 0.45
+#: Per-socket uncore power coefficients (L3, ring, memory controller).
+UNCORE_DYN_CUBE_W_PER_GHZ3 = 0.45
+UNCORE_DYN_LIN_W_PER_GHZ = 1.6
+#: Idle fraction of uncore dynamic power (clock keeps toggling when idle).
+UNCORE_IDLE_ACTIVITY = 0.30
+#: DRAM power per achieved GB/s of traffic.
+DRAM_POWER_W_PER_GBS = 0.55
+#: DRAM background power per node, watts.
+DRAM_BACKGROUND_POWER_W = 8.0
+
+#: Peak sustainable memory bandwidth per node at max uncore frequency, GB/s.
+PEAK_MEMBW_GBS = 120.0
+#: Bandwidth saturation knee: B(f_u) ~ (1+k) x / (x + k) with x = f_u / f_max.
+#: Smaller k = earlier saturation (extra uncore frequency buys less bandwidth).
+MEMBW_KNEE = 0.8
+#: Thread-sharing half-saturation constant: sat(T) = T (C + h) / (C (T + h)).
+MEMBW_THREAD_HALF = 2.0
+
+#: Node-to-node power variability: multiplicative sigma on static power and
+#: on dynamic coefficients (Section IV-B, Figures 2a/3a).
+NODE_VARIABILITY_SIGMA = 0.09
+#: Run-to-run energy measurement noise (multiplicative sigma).
+MEASUREMENT_NOISE_SIGMA = 0.004
+
+#: Fraction of node power attributed to the CPU packages (RAPL view) is
+#: computed structurally (core + uncore + DRAM); this constant only covers
+#: package leakage included in RAPL but not in the dynamic terms, watts/socket.
+PACKAGE_LEAKAGE_W = 9.0
+
+#: Global default seed for every deterministic experiment in the repo.
+DEFAULT_SEED = 20190520

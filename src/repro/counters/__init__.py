@@ -1,0 +1,37 @@
+"""PAPI performance-counter subsystem.
+
+Models the measurement constraints of Section IV-A: the platform exposes
+56 standardized PAPI preset counters (plus 162 native events), but the
+PMU can record only four programmable events simultaneously, so reading
+all presets needs multiple application runs whose values are averaged.
+"""
+
+from repro.counters.papi import (
+    PAPI_PRESETS,
+    TABLE1_COUNTERS,
+    PapiCounter,
+    preset,
+    preset_names,
+)
+from repro.counters.native import NATIVE_EVENTS, NativeEvent
+from repro.counters.eventset import EventSet, MultiplexSchedule
+from repro.counters.generation import (
+    CounterGenerator,
+    MeasurementContext,
+    exact_counters,
+)
+
+__all__ = [
+    "PAPI_PRESETS",
+    "TABLE1_COUNTERS",
+    "PapiCounter",
+    "preset",
+    "preset_names",
+    "NATIVE_EVENTS",
+    "NativeEvent",
+    "EventSet",
+    "MultiplexSchedule",
+    "CounterGenerator",
+    "MeasurementContext",
+    "exact_counters",
+]

@@ -1,0 +1,107 @@
+"""PAPI event sets with the hardware's simultaneous-counter limit.
+
+A Haswell core has four programmable counters, so at most four preset
+events can be recorded in one run (Section IV-A: "multiple runs of the
+same application are required due to hardware limitations on the
+simultaneous recording of multiple performance metrics").
+:class:`MultiplexSchedule` plans the minimal set of runs needed to cover
+a list of events.
+"""
+
+from __future__ import annotations
+
+from repro import config
+from repro.counters.papi import preset
+from repro.errors import EventSetError
+
+
+class EventSet:
+    """One run's worth of simultaneously-recorded PAPI events."""
+
+    def __init__(self, max_events: int = config.PAPI_MAX_SIMULTANEOUS_EVENTS):
+        if max_events <= 0:
+            raise EventSetError("event set capacity must be positive")
+        self._max_events = max_events
+        self._events: list[str] = []
+        self._running = False
+        self._values: dict[str, float] | None = None
+
+    @property
+    def events(self) -> tuple[str, ...]:
+        return tuple(self._events)
+
+    def add_event(self, name: str) -> None:
+        """Add a preset event; rejects duplicates and overflow."""
+        canonical = preset(name).name
+        if self._running:
+            raise EventSetError("cannot modify a running event set")
+        if canonical in self._events:
+            raise EventSetError(f"event already in set: {canonical}")
+        if len(self._events) >= self._max_events:
+            raise EventSetError(
+                f"event set full: hardware supports only "
+                f"{self._max_events} simultaneous events"
+            )
+        self._events.append(canonical)
+
+    def start(self) -> None:
+        if self._running:
+            raise EventSetError("event set already started")
+        if not self._events:
+            raise EventSetError("cannot start an empty event set")
+        self._running = True
+        self._values = None
+
+    def stop(self, measurement: dict[str, float]) -> dict[str, float]:
+        """Stop counting; ``measurement`` is the full PMU reading for the run.
+
+        Only the subset this event set was programmed for is visible —
+        exactly the hardware restriction the multiplexing works around.
+        """
+        if not self._running:
+            raise EventSetError("event set not running")
+        self._running = False
+        self._values = {name: measurement[name] for name in self._events}
+        return dict(self._values)
+
+    def read(self) -> dict[str, float]:
+        if self._values is None:
+            raise EventSetError("no measurement available; run start/stop first")
+        return dict(self._values)
+
+
+class MultiplexSchedule:
+    """Plan of measurement runs covering an arbitrary event list."""
+
+    def __init__(
+        self,
+        event_names: list[str] | tuple[str, ...],
+        max_events: int = config.PAPI_MAX_SIMULTANEOUS_EVENTS,
+    ):
+        canonical = [preset(n).name for n in event_names]
+        if len(set(canonical)) != len(canonical):
+            raise EventSetError("duplicate events in multiplex request")
+        self._groups = [
+            tuple(canonical[i : i + max_events])
+            for i in range(0, len(canonical), max_events)
+        ]
+        self._max_events = max_events
+
+    @property
+    def num_runs(self) -> int:
+        """Number of application runs needed to cover all events."""
+        return len(self._groups)
+
+    @property
+    def groups(self) -> tuple[tuple[str, ...], ...]:
+        return tuple(self._groups)
+
+    def event_sets(self) -> list[EventSet]:
+        """Materialise one programmed :class:`EventSet` per run."""
+        sets = []
+        for group in self._groups:
+            es = EventSet(self._max_events)
+            for name in group:
+                es.add_event(name)
+            sets.append(es)
+        return sets

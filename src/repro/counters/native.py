@@ -1,0 +1,103 @@
+"""Native (raw PMU) events of the simulated Haswell-EP.
+
+The paper notes the platform supports 162 native counters, each with many
+umask configurations, and that the methodology deliberately restricts
+itself to the 56 standardized presets to keep measurement feasible.  We
+model the native event *list* (so tooling that enumerates events sees a
+realistic inventory) without deriving values for them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import config
+
+_EVENT_GROUPS: list[tuple[str, list[str]]] = [
+    ("CPU_CLK_THREAD_UNHALTED", ["THREAD_P", "REF_XCLK", "ONE_THREAD_ACTIVE"]),
+    ("INST_RETIRED", ["ANY_P", "PREC_DIST", "X87"]),
+    ("UOPS_ISSUED", ["ANY", "FLAGS_MERGE", "SLOW_LEA", "SINGLE_MUL"]),
+    ("UOPS_EXECUTED", ["CORE", "STALL_CYCLES", "CYCLES_GE_1_UOP_EXEC"]),
+    ("UOPS_RETIRED", ["ALL", "RETIRE_SLOTS", "STALL_CYCLES", "TOTAL_CYCLES"]),
+    ("BR_INST_RETIRED", ["ALL_BRANCHES", "CONDITIONAL", "NEAR_CALL", "NEAR_RETURN",
+                         "NOT_TAKEN", "NEAR_TAKEN", "FAR_BRANCH"]),
+    ("BR_MISP_RETIRED", ["ALL_BRANCHES", "CONDITIONAL", "NEAR_TAKEN"]),
+    ("MEM_UOPS_RETIRED", ["ALL_LOADS", "ALL_STORES", "STLB_MISS_LOADS",
+                          "STLB_MISS_STORES", "LOCK_LOADS", "SPLIT_LOADS",
+                          "SPLIT_STORES"]),
+    ("MEM_LOAD_UOPS_RETIRED", ["L1_HIT", "L2_HIT", "L3_HIT", "L1_MISS",
+                               "L2_MISS", "L3_MISS", "HIT_LFB"]),
+    ("MEM_LOAD_UOPS_L3_HIT_RETIRED", ["XSNP_MISS", "XSNP_HIT", "XSNP_HITM",
+                                      "XSNP_NONE"]),
+    ("L1D", ["REPLACEMENT"]),
+    ("L1D_PEND_MISS", ["PENDING", "PENDING_CYCLES", "FB_FULL"]),
+    ("L2_RQSTS", ["DEMAND_DATA_RD_HIT", "ALL_DEMAND_DATA_RD", "RFO_HIT",
+                  "RFO_MISS", "ALL_RFO", "CODE_RD_HIT", "CODE_RD_MISS",
+                  "ALL_CODE_RD", "ALL_DEMAND_MISS", "ALL_DEMAND_REFERENCES",
+                  "MISS", "REFERENCES"]),
+    ("L2_TRANS", ["DEMAND_DATA_RD", "RFO", "CODE_RD", "ALL_PF", "L1D_WB",
+                  "L2_FILL", "L2_WB", "ALL_REQUESTS"]),
+    ("LLC", ["REFERENCE", "MISSES"]),
+    ("CYCLE_ACTIVITY", ["CYCLES_L2_PENDING", "CYCLES_LDM_PENDING",
+                        "CYCLES_NO_EXECUTE", "STALLS_L2_PENDING",
+                        "STALLS_LDM_PENDING", "STALLS_L1D_PENDING"]),
+    ("RESOURCE_STALLS", ["ANY", "RS", "SB", "ROB"]),
+    ("OFFCORE_REQUESTS", ["DEMAND_DATA_RD", "DEMAND_CODE_RD", "DEMAND_RFO",
+                          "ALL_DATA_RD"]),
+    ("OFFCORE_RESPONSE", ["DMND_DATA_RD", "DMND_RFO", "PF_DATA_RD"]),
+    ("DTLB_LOAD_MISSES", ["MISS_CAUSES_A_WALK", "WALK_COMPLETED",
+                          "WALK_DURATION", "STLB_HIT"]),
+    ("DTLB_STORE_MISSES", ["MISS_CAUSES_A_WALK", "WALK_COMPLETED",
+                           "WALK_DURATION", "STLB_HIT"]),
+    ("ITLB_MISSES", ["MISS_CAUSES_A_WALK", "WALK_COMPLETED", "WALK_DURATION"]),
+    ("ICACHE", ["HIT", "MISSES", "IFETCH_STALL"]),
+    ("IDQ", ["EMPTY", "MITE_UOPS", "DSB_UOPS", "MS_UOPS", "ALL_DSB_CYCLES_4_UOPS"]),
+    ("ILD_STALL", ["LCP", "IQ_FULL"]),
+    ("LD_BLOCKS", ["STORE_FORWARD", "NO_SR"]),
+    ("MACHINE_CLEARS", ["MEMORY_ORDERING", "SMC", "MASKMOV", "COUNT"]),
+    ("FP_ASSIST", ["X87_OUTPUT", "X87_INPUT", "SIMD_OUTPUT", "SIMD_INPUT", "ANY"]),
+    ("AVX_INSTS", ["ALL"]),
+    ("ARITH", ["DIVIDER_UOPS"]),
+    ("MOVE_ELIMINATION", ["INT_ELIMINATED", "SIMD_ELIMINATED",
+                          "INT_NOT_ELIMINATED", "SIMD_NOT_ELIMINATED"]),
+    ("ROB_MISC_EVENTS", ["LBR_INSERTS"]),
+    ("RS_EVENTS", ["EMPTY_CYCLES", "EMPTY_END"]),
+    ("LSD", ["UOPS", "CYCLES_ACTIVE"]),
+    ("DSB2MITE_SWITCHES", ["PENALTY_CYCLES", "COUNT"]),
+    ("TLB_FLUSH", ["DTLB_THREAD", "STLB_ANY"]),
+    ("PAGE_WALKER_LOADS", ["DTLB_L1", "DTLB_L2", "DTLB_L3", "DTLB_MEMORY",
+                           "ITLB_L1", "ITLB_L2", "ITLB_L3"]),
+    ("LOCK_CYCLES", ["SPLIT_LOCK_UC_LOCK_DURATION", "CACHE_LOCK_DURATION"]),
+    ("SQ_MISC", ["SPLIT_LOCK"]),
+    ("CPL_CYCLES", ["RING0", "RING123", "RING0_TRANS"]),
+    ("OTHER_ASSISTS", ["ANY_WB_ASSIST"]),
+    ("BACLEARS", ["ANY"]),
+    ("LONGEST_LAT_CACHE", ["MISS", "REFERENCE"]),
+    ("MISALIGN_MEM_REF", ["LOADS", "STORES"]),
+    ("UOPS_DISPATCHED_PORT", ["PORT_0", "PORT_1", "PORT_2", "PORT_3", "PORT_4",
+                              "PORT_5", "PORT_6", "PORT_7"]),
+]
+
+
+@dataclass(frozen=True)
+class NativeEvent:
+    """One native PMU event configuration (event + umask)."""
+
+    name: str
+    event_group: str
+    umask: str
+
+
+def _build() -> dict[str, NativeEvent]:
+    events: dict[str, NativeEvent] = {}
+    for group, umasks in _EVENT_GROUPS:
+        for umask in umasks:
+            name = f"{group}.{umask}"
+            events[name] = NativeEvent(name=name, event_group=group, umask=umask)
+    return events
+
+
+#: All native events, keyed by ``GROUP.UMASK`` name.
+NATIVE_EVENTS: dict[str, NativeEvent] = _build()
+
+assert len(NATIVE_EVENTS) == config.PAPI_NUM_NATIVE_COUNTERS, len(NATIVE_EVENTS)

@@ -1,0 +1,143 @@
+"""The 56 standardized PAPI preset counters of the experimental platform.
+
+Names and semantics follow the PAPI preset definitions available on Intel
+Haswell-EP; the seven counters of the paper's Table I (``BR_NTK``,
+``LD_INS``, ``L2_ICR``, ``BR_MSP``, ``RES_STL``, ``SR_INS``, ``L2_DCR``)
+are all members.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro import config
+from repro.errors import CounterError
+
+
+class CounterCategory(enum.Enum):
+    """Coarse grouping of preset counters."""
+
+    CACHE = "cache"
+    TLB = "tlb"
+    BRANCH = "branch"
+    INSTRUCTION = "instruction"
+    CYCLE = "cycle"
+    FLOAT = "float"
+
+
+@dataclass(frozen=True)
+class PapiCounter:
+    """One PAPI preset event."""
+
+    name: str
+    code: int
+    category: CounterCategory
+    description: str
+
+    @property
+    def short_name(self) -> str:
+        """Name without the ``PAPI_`` prefix, as the paper's Table I uses."""
+        return self.name.removeprefix("PAPI_")
+
+
+def _mk(defs: list[tuple[str, CounterCategory, str]]) -> dict[str, PapiCounter]:
+    presets = {}
+    for i, (name, cat, desc) in enumerate(defs):
+        presets[name] = PapiCounter(
+            name=name, code=0x8000_0000 | i, category=cat, description=desc
+        )
+    return presets
+
+
+_C = CounterCategory
+
+#: All 56 presets, keyed by full name, in PAPI enumeration order.
+PAPI_PRESETS: dict[str, PapiCounter] = _mk(
+    [
+        ("PAPI_L1_DCM", _C.CACHE, "Level 1 data cache misses"),
+        ("PAPI_L1_ICM", _C.CACHE, "Level 1 instruction cache misses"),
+        ("PAPI_L2_DCM", _C.CACHE, "Level 2 data cache misses"),
+        ("PAPI_L2_ICM", _C.CACHE, "Level 2 instruction cache misses"),
+        ("PAPI_L1_TCM", _C.CACHE, "Level 1 total cache misses"),
+        ("PAPI_L2_TCM", _C.CACHE, "Level 2 total cache misses"),
+        ("PAPI_L3_TCM", _C.CACHE, "Level 3 total cache misses"),
+        ("PAPI_L3_LDM", _C.CACHE, "Level 3 load misses"),
+        ("PAPI_TLB_DM", _C.TLB, "Data TLB misses"),
+        ("PAPI_TLB_IM", _C.TLB, "Instruction TLB misses"),
+        ("PAPI_L1_LDM", _C.CACHE, "Level 1 load misses"),
+        ("PAPI_L1_STM", _C.CACHE, "Level 1 store misses"),
+        ("PAPI_L2_LDM", _C.CACHE, "Level 2 load misses"),
+        ("PAPI_L2_STM", _C.CACHE, "Level 2 store misses"),
+        ("PAPI_PRF_DM", _C.CACHE, "Data prefetch cache misses"),
+        ("PAPI_MEM_WCY", _C.CYCLE, "Cycles waiting for memory writes"),
+        ("PAPI_STL_ICY", _C.CYCLE, "Cycles with no instruction issue"),
+        ("PAPI_FUL_ICY", _C.CYCLE, "Cycles with maximum instruction issue"),
+        ("PAPI_STL_CCY", _C.CYCLE, "Cycles with no instructions completed"),
+        ("PAPI_FUL_CCY", _C.CYCLE, "Cycles with maximum instructions completed"),
+        ("PAPI_BR_UCN", _C.BRANCH, "Unconditional branch instructions"),
+        ("PAPI_BR_CN", _C.BRANCH, "Conditional branch instructions"),
+        ("PAPI_BR_TKN", _C.BRANCH, "Conditional branch instructions taken"),
+        ("PAPI_BR_NTK", _C.BRANCH, "Conditional branch instructions not taken"),
+        ("PAPI_BR_MSP", _C.BRANCH, "Conditional branch instructions mispredicted"),
+        ("PAPI_BR_PRC", _C.BRANCH, "Conditional branch instructions correctly predicted"),
+        ("PAPI_TOT_INS", _C.INSTRUCTION, "Instructions completed"),
+        ("PAPI_LD_INS", _C.INSTRUCTION, "Load instructions"),
+        ("PAPI_SR_INS", _C.INSTRUCTION, "Store instructions"),
+        ("PAPI_BR_INS", _C.INSTRUCTION, "Branch instructions"),
+        ("PAPI_RES_STL", _C.CYCLE, "Cycles stalled on any resource"),
+        ("PAPI_TOT_CYC", _C.CYCLE, "Total cycles"),
+        ("PAPI_LST_INS", _C.INSTRUCTION, "Load/store instructions completed"),
+        ("PAPI_REF_CYC", _C.CYCLE, "Reference clock cycles"),
+        ("PAPI_L2_DCA", _C.CACHE, "Level 2 data cache accesses"),
+        ("PAPI_L3_DCA", _C.CACHE, "Level 3 data cache accesses"),
+        ("PAPI_L2_DCR", _C.CACHE, "Level 2 data cache reads"),
+        ("PAPI_L3_DCR", _C.CACHE, "Level 3 data cache reads"),
+        ("PAPI_L2_DCW", _C.CACHE, "Level 2 data cache writes"),
+        ("PAPI_L3_DCW", _C.CACHE, "Level 3 data cache writes"),
+        ("PAPI_L2_ICH", _C.CACHE, "Level 2 instruction cache hits"),
+        ("PAPI_L2_ICA", _C.CACHE, "Level 2 instruction cache accesses"),
+        ("PAPI_L3_ICA", _C.CACHE, "Level 3 instruction cache accesses"),
+        ("PAPI_L2_ICR", _C.CACHE, "Level 2 instruction cache reads"),
+        ("PAPI_L3_ICR", _C.CACHE, "Level 3 instruction cache reads"),
+        ("PAPI_L2_TCA", _C.CACHE, "Level 2 total cache accesses"),
+        ("PAPI_L3_TCA", _C.CACHE, "Level 3 total cache accesses"),
+        ("PAPI_L2_TCR", _C.CACHE, "Level 2 total cache reads"),
+        ("PAPI_L3_TCR", _C.CACHE, "Level 3 total cache reads"),
+        ("PAPI_L2_TCW", _C.CACHE, "Level 2 total cache writes"),
+        ("PAPI_L3_TCW", _C.CACHE, "Level 3 total cache writes"),
+        ("PAPI_SP_OPS", _C.FLOAT, "Single precision floating point operations"),
+        ("PAPI_DP_OPS", _C.FLOAT, "Double precision floating point operations"),
+        ("PAPI_VEC_SP", _C.FLOAT, "Single precision vector/SIMD instructions"),
+        ("PAPI_VEC_DP", _C.FLOAT, "Double precision vector/SIMD instructions"),
+        ("PAPI_FP_OPS", _C.FLOAT, "Floating point operations"),
+    ]
+)
+
+assert len(PAPI_PRESETS) == config.PAPI_NUM_PRESET_COUNTERS
+
+#: The seven counters of Table I, in the paper's order.
+TABLE1_COUNTERS: tuple[str, ...] = (
+    "PAPI_BR_NTK",
+    "PAPI_LD_INS",
+    "PAPI_L2_ICR",
+    "PAPI_BR_MSP",
+    "PAPI_RES_STL",
+    "PAPI_SR_INS",
+    "PAPI_L2_DCR",
+)
+
+
+def preset(name: str) -> PapiCounter:
+    """Look up a preset by full (``PAPI_LD_INS``) or short (``LD_INS``) name."""
+    if name in PAPI_PRESETS:
+        return PAPI_PRESETS[name]
+    full = f"PAPI_{name}"
+    if full in PAPI_PRESETS:
+        return PAPI_PRESETS[full]
+    raise CounterError(f"unknown PAPI preset: {name}")
+
+
+def preset_names() -> tuple[str, ...]:
+    """All preset names in enumeration order."""
+    return tuple(PAPI_PRESETS)

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while letting
+programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class HardwareError(ReproError):
+    """Raised for invalid operations against the simulated hardware."""
+
+
+class MSRError(HardwareError):
+    """Raised on invalid MSR access (unknown register, bad width, locked)."""
+
+
+class FrequencyError(HardwareError):
+    """Raised when a requested frequency is outside the supported range."""
+
+
+class CounterError(ReproError):
+    """Raised for invalid PAPI counter operations."""
+
+
+class EventSetError(CounterError):
+    """Raised when an event set is misused (overfull, not started, ...)."""
+
+
+class WorkloadError(ReproError):
+    """Raised for malformed workload / region definitions."""
+
+
+class TraceError(ReproError):
+    """Raised for malformed traces or invalid trace operations."""
+
+
+class InstrumentationError(ReproError):
+    """Raised when instrumentation or filtering is misconfigured."""
+
+
+class TuningError(ReproError):
+    """Raised by the PTF layer for invalid tuning requests."""
+
+
+class ModelError(ReproError):
+    """Raised by the modeling layer (bad shapes, untrained model, ...)."""
+
+
+class TuningModelError(ReproError):
+    """Raised for malformed tuning-model (TMM) files."""
+
+
+class RRLError(ReproError):
+    """Raised by the READEX Runtime Library."""
+
+
+class JobError(ReproError):
+    """Raised by the job/SLURM accounting layer."""

@@ -1,0 +1,55 @@
+"""Job records: what the batch system knows about one run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import JobError
+from repro.execution.simulator import OperatingPoint, RunResult
+
+
+@dataclass(frozen=True)
+class JobStep:
+    """One job step (``srun`` invocation) within a job."""
+
+    name: str
+    elapsed_s: float
+    consumed_energy_j: float  # node energy, as HDEEM/SLURM account it
+
+
+@dataclass
+class JobRecord:
+    """Post-mortem accounting data for one job (what ``sacct`` serves)."""
+
+    job_id: int
+    job_name: str
+    node_id: int
+    operating_point: OperatingPoint
+    elapsed_s: float
+    consumed_energy_j: float          #: node ("job") energy
+    cpu_energy_j: float               #: RAPL package+DRAM energy
+    steps: list[JobStep] = field(default_factory=list)
+
+    @classmethod
+    def from_run(
+        cls, job_id: int, run: RunResult, *, job_name: str | None = None
+    ) -> "JobRecord":
+        """Build the accounting record for a completed run."""
+        if run.time_s <= 0:
+            raise JobError("cannot account a job with zero elapsed time")
+        return cls(
+            job_id=job_id,
+            job_name=job_name or run.app_name,
+            node_id=run.node_id,
+            operating_point=run.operating_point,
+            elapsed_s=run.time_s,
+            consumed_energy_j=run.node_energy_j,
+            cpu_energy_j=run.cpu_energy_j,
+            steps=[
+                JobStep(
+                    name="batch",
+                    elapsed_s=run.time_s,
+                    consumed_energy_j=run.node_energy_j,
+                )
+            ],
+        )

@@ -1,0 +1,66 @@
+"""SLURM-style job accounting database (the ``sacct`` backend).
+
+The paper measures job energy and time with ``sacct --format=...``
+(Section V-D).  :class:`SlurmAccounting` stores completed
+:class:`~repro.execution.job.JobRecord` objects and serves the same
+field-based queries; the CLI front-end lives in
+:mod:`repro.tools.sacct`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import JobError
+from repro.execution.job import JobRecord
+from repro.execution.simulator import RunResult
+
+#: Supported --format fields -> extractor.
+_FIELDS: dict[str, Callable[[JobRecord], object]] = {
+    "JobID": lambda j: j.job_id,
+    "JobName": lambda j: j.job_name,
+    "NodeList": lambda j: f"node{j.node_id:04d}",
+    "Elapsed": lambda j: j.elapsed_s,
+    "ConsumedEnergy": lambda j: j.consumed_energy_j,
+    "ConsumedEnergyRaw": lambda j: j.consumed_energy_j,
+}
+
+
+class SlurmAccounting:
+    """In-memory job accounting store with ``sacct``-style queries."""
+
+    def __init__(self) -> None:
+        self._jobs: dict[int, JobRecord] = {}
+        self._next_id = 1000
+
+    def submit(self, run: RunResult, *, job_name: str | None = None) -> JobRecord:
+        """Account a completed run and return its job record."""
+        record = JobRecord.from_run(self._next_id, run, job_name=job_name)
+        self._jobs[record.job_id] = record
+        self._next_id += 1
+        return record
+
+    def job(self, job_id: int) -> JobRecord:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise JobError(f"unknown job id: {job_id}") from None
+
+    def jobs(self) -> tuple[JobRecord, ...]:
+        return tuple(self._jobs.values())
+
+    @staticmethod
+    def format_fields() -> tuple[str, ...]:
+        return tuple(_FIELDS)
+
+    def sacct(self, *, job_id: int | None = None, fmt: str = "JobID,JobName,Elapsed,ConsumedEnergy") -> list[dict[str, object]]:
+        """Query like ``sacct --format=<fmt> [-j <job_id>]``."""
+        fields = [f.strip() for f in fmt.split(",") if f.strip()]
+        unknown = [f for f in fields if f not in _FIELDS]
+        if unknown:
+            raise JobError(f"unknown sacct fields: {unknown}; "
+                           f"supported: {sorted(_FIELDS)}")
+        selected = (
+            [self.job(job_id)] if job_id is not None else list(self._jobs.values())
+        )
+        return [{f: _FIELDS[f](j) for f in fields} for j in selected]

@@ -1,0 +1,72 @@
+"""Thread scaling and memory-bandwidth models.
+
+Two scaling laws drive everything the tuning plugin observes when it
+varies OpenMP threads and the uncore frequency:
+
+* :func:`thread_speedup` — Amdahl's law with a linear serialization
+  penalty per extra thread, giving interior thread optima for regions
+  with synchronization overhead (the paper finds 16 threads optimal for
+  Amg2013 and 20 for Mcbenchmark);
+* :func:`memory_bandwidth_gbs` — achievable DRAM bandwidth, concave and
+  saturating in the uncore frequency (raising UFS beyond the knee buys
+  little bandwidth but cubic power — the source of interior UCF optima
+  for memory-bound codes) and shared among threads.
+"""
+
+from __future__ import annotations
+
+from repro import config
+from repro.util.validation import check_fraction, check_positive
+
+
+def thread_speedup(
+    threads: int,
+    parallel_fraction: float,
+    thread_overhead: float,
+) -> float:
+    """Speedup of the compute portion with ``threads`` OpenMP threads.
+
+    ``S(T) = 1 / ((1 - p) + p/T + sigma (T - 1))`` — Amdahl plus a
+    serialization term that grows with the thread count (barriers, NUMA
+    traffic, lock contention).
+    """
+    if threads <= 0:
+        raise ValueError(f"threads must be positive, got {threads}")
+    check_fraction("parallel_fraction", parallel_fraction)
+    check_positive("thread_overhead", thread_overhead, strict=False)
+    p = parallel_fraction
+    denom = (1.0 - p) + p / threads + thread_overhead * (threads - 1)
+    return 1.0 / denom
+
+
+def uncore_bandwidth_shape(uncore_freq_ghz: float) -> float:
+    """Fraction of peak bandwidth available at ``uncore_freq_ghz``.
+
+    Saturating rational shape ``(1+k) x / (x + k)`` with
+    ``x = f_u / f_max``: near-linear at low UFS, flat near the top.
+    """
+    check_positive("uncore_freq_ghz", uncore_freq_ghz)
+    x = uncore_freq_ghz / config.UNCORE_FREQ_MAX_GHZ
+    k = config.MEMBW_KNEE
+    return (1.0 + k) * x / (x + k)
+
+
+def thread_bandwidth_share(threads: int) -> float:
+    """Fraction of peak bandwidth reachable with ``threads`` requesters.
+
+    Normalised so a fully-populated node (all cores) reaches 1.0.
+    """
+    if threads <= 0:
+        raise ValueError(f"threads must be positive, got {threads}")
+    h = config.MEMBW_THREAD_HALF
+    c = config.CORES_PER_NODE
+    return (threads * (c + h)) / (c * (threads + h))
+
+
+def memory_bandwidth_gbs(uncore_freq_ghz: float, threads: int) -> float:
+    """Achievable DRAM bandwidth (GB/s) at the given operating point."""
+    return (
+        config.PEAK_MEMBW_GBS
+        * uncore_bandwidth_shape(uncore_freq_ghz)
+        * thread_bandwidth_share(threads)
+    )

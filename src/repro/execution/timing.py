@@ -1,0 +1,77 @@
+"""Region run-time model (roofline with partial compute/memory overlap).
+
+For a region with compute work ``W_c`` (cycles) and memory work ``W_m``
+(bytes), executed with ``T`` threads at core frequency ``f_c`` and uncore
+frequency ``f_u``::
+
+    t_c = W_c / (f_c * S(T))          compute time
+    t_m = W_m / B(f_u, T)             memory time
+    t   = o * max(t_c, t_m) + (1 - o) * (t_c + t_m)
+
+``o`` is the region's compute/memory overlap.  The model yields the
+paper's qualitative behaviour: compute-bound regions can lower UFS until
+``t_m`` emerges from under ``t_c`` (interior UCF optimum); memory-bound
+regions can lower CF until ``t_c`` emerges from under ``t_m`` (interior
+CF optimum); and both suffer when either knob goes too low.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import config
+from repro.execution.speedup import memory_bandwidth_gbs, thread_speedup
+from repro.workloads.characteristics import WorkloadCharacteristics
+
+
+@dataclass(frozen=True)
+class RegionTiming:
+    """Ground-truth execution profile of one region instance."""
+
+    time_s: float
+    compute_time_s: float
+    memory_time_s: float
+    core_activity: float
+    uncore_activity: float
+    membw_gbs: float
+    threads: int
+    core_freq_ghz: float
+    uncore_freq_ghz: float
+
+    @property
+    def memory_bound(self) -> bool:
+        return self.memory_time_s > self.compute_time_s
+
+
+def region_timing(
+    chars: WorkloadCharacteristics,
+    *,
+    threads: int,
+    core_freq_ghz: float,
+    uncore_freq_ghz: float,
+) -> RegionTiming:
+    """Evaluate the timing model for one region instance."""
+    speedup = thread_speedup(threads, chars.parallel_fraction, chars.thread_overhead)
+    t_c = chars.compute_cycles / (core_freq_ghz * 1e9 * speedup)
+    bandwidth = memory_bandwidth_gbs(uncore_freq_ghz, threads)
+    t_m = chars.memory_bytes / (bandwidth * 1e9)
+    o = chars.overlap
+    time_s = o * max(t_c, t_m) + (1.0 - o) * (t_c + t_m)
+    # Cores are fully active while computing and partially active (clock
+    # running, pipelines stalled) for the remainder of the region.
+    busy_frac = min(1.0, t_c / time_s) if time_s > 0 else 0.0
+    core_activity = busy_frac + config.STALLED_CORE_ACTIVITY * (1.0 - busy_frac)
+    achieved_gbs = chars.memory_bytes / time_s / 1e9 if time_s > 0 else 0.0
+    # Uncore activity = achieved traffic relative to the node's peak.
+    uncore_activity = min(1.0, achieved_gbs / config.PEAK_MEMBW_GBS)
+    return RegionTiming(
+        time_s=time_s,
+        compute_time_s=t_c,
+        memory_time_s=t_m,
+        core_activity=core_activity,
+        uncore_activity=uncore_activity,
+        membw_gbs=achieved_gbs,
+        threads=threads,
+        core_freq_ghz=core_freq_ghz,
+        uncore_freq_ghz=uncore_freq_ghz,
+    )

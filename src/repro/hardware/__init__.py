@@ -1,0 +1,58 @@
+"""Simulated hardware substrate.
+
+This package models the experimental platform of the paper (Section V-A):
+a dual-socket Intel Haswell-EP compute node with
+
+* per-core DVFS (1.2--2.5 GHz) driven through ``IA32_PERF_CTL``,
+* per-socket UFS (1.3--3.0 GHz) driven through ``MSR_UNCORE_RATIO_LIMIT``,
+* RAPL package/DRAM energy counters with 32-bit wraparound,
+* an HDEEM-style FPGA node-energy sampler (1 kSa/s, ~5 ms start delay),
+* an analytic ground-truth power model with per-node variability.
+
+The tuning stack above never touches the power model directly; it reads
+energies through RAPL / HDEEM and sets frequencies through the
+``x86_adapt``-style wrapper, exactly as the paper's software stack does.
+"""
+
+from repro.hardware.msr import MSRRegisterFile, MSR, RegisterScope
+from repro.hardware.msr_tools import rdmsr, wrmsr
+from repro.hardware.frequency import (
+    DVFSController,
+    UFSController,
+    FrequencyTransition,
+    quantize_frequency,
+)
+from repro.hardware.x86_adapt import X86AdaptDevice, X86AdaptKnob
+from repro.hardware.topology import CoreInfo, SocketInfo, NodeTopology
+from repro.hardware.power import PowerModel, PowerBreakdown, NodeVariability
+from repro.hardware.rapl import RaplDomain, RaplReader, RAPL_ENERGY_UNIT_J
+from repro.hardware.hdeem import HdeemMonitor, HdeemMeasurement
+from repro.hardware.node import ComputeNode
+from repro.hardware.cluster import Cluster
+
+__all__ = [
+    "MSRRegisterFile",
+    "MSR",
+    "RegisterScope",
+    "rdmsr",
+    "wrmsr",
+    "DVFSController",
+    "UFSController",
+    "FrequencyTransition",
+    "quantize_frequency",
+    "X86AdaptDevice",
+    "X86AdaptKnob",
+    "CoreInfo",
+    "SocketInfo",
+    "NodeTopology",
+    "PowerModel",
+    "PowerBreakdown",
+    "NodeVariability",
+    "RaplDomain",
+    "RaplReader",
+    "RAPL_ENERGY_UNIT_J",
+    "HdeemMonitor",
+    "HdeemMeasurement",
+    "ComputeNode",
+    "Cluster",
+]

@@ -1,0 +1,155 @@
+"""Register-accurate simulated model-specific registers (MSRs).
+
+The paper's software stack changes frequencies through the ``x86_adapt``
+library, which ultimately programs MSRs.  We model the handful of
+registers that stack touches:
+
+========================  ======  =======  =====================================
+Register                  Addr    Scope    Function
+========================  ======  =======  =====================================
+``IA32_PERF_STATUS``      0x198   core     current P-state ratio (read-only)
+``IA32_PERF_CTL``         0x199   core     target P-state ratio (bits 8:15)
+``MSR_RAPL_POWER_UNIT``   0x606   package  energy status unit (read-only)
+``MSR_PKG_ENERGY_STATUS`` 0x611   package  package energy counter (read-only)
+``MSR_DRAM_ENERGY_STATUS``0x619   package  DRAM energy counter (read-only)
+``MSR_UNCORE_RATIO_LIMIT``0x620   package  min/max uncore ratio (bits 8:14/0:6)
+========================  ======  =======  =====================================
+
+Ratios are multiples of the 100 MHz bus clock, so e.g. 2.5 GHz encodes as
+ratio 25.  The register file validates scope, address and write
+permissions — the same failure modes ``msr-tools`` hits on real hardware.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro import config
+from repro.errors import MSRError
+
+
+class RegisterScope(enum.Enum):
+    """Whether one register instance exists per core or per package."""
+
+    CORE = "core"
+    PACKAGE = "package"
+
+
+class MSR(enum.IntEnum):
+    """Addresses of the modelled registers."""
+
+    IA32_PERF_STATUS = 0x198
+    IA32_PERF_CTL = 0x199
+    MSR_RAPL_POWER_UNIT = 0x606
+    MSR_PKG_ENERGY_STATUS = 0x611
+    MSR_DRAM_ENERGY_STATUS = 0x619
+    MSR_UNCORE_RATIO_LIMIT = 0x620
+
+
+@dataclass(frozen=True)
+class _RegisterSpec:
+    scope: RegisterScope
+    writable: bool
+    reset: int
+
+
+#: Energy Status Unit exponent: energy unit = 1 / 2**ESU joules.  14 matches
+#: real Haswell (61 microjoule granularity).
+RAPL_ESU = 14
+
+_REGISTER_SPECS: dict[int, _RegisterSpec] = {
+    MSR.IA32_PERF_STATUS: _RegisterSpec(RegisterScope.CORE, False, 0),
+    MSR.IA32_PERF_CTL: _RegisterSpec(RegisterScope.CORE, True, 0),
+    MSR.MSR_RAPL_POWER_UNIT: _RegisterSpec(
+        # bits 12:8 hold the ESU on real hardware.
+        RegisterScope.PACKAGE, False, RAPL_ESU << 8
+    ),
+    MSR.MSR_PKG_ENERGY_STATUS: _RegisterSpec(RegisterScope.PACKAGE, False, 0),
+    MSR.MSR_DRAM_ENERGY_STATUS: _RegisterSpec(RegisterScope.PACKAGE, False, 0),
+    MSR.MSR_UNCORE_RATIO_LIMIT: _RegisterSpec(RegisterScope.PACKAGE, True, 0),
+}
+
+_U64_MASK = (1 << 64) - 1
+
+
+def ratio_of_ghz(freq_ghz: float) -> int:
+    """Encode a frequency as a bus-clock ratio (100 MHz units)."""
+    return int(round(freq_ghz / config.BUS_CLOCK_GHZ))
+
+
+def ghz_of_ratio(ratio: int) -> float:
+    """Decode a bus-clock ratio back to GHz."""
+    return round(ratio * config.BUS_CLOCK_GHZ, 1)
+
+
+class MSRRegisterFile:
+    """All modelled MSRs of one node.
+
+    Core-scoped registers are indexed by core id, package-scoped registers
+    by socket id; accessing a package register through any core of that
+    package aliases to the same storage, as on real hardware.
+    """
+
+    def __init__(self, num_cores: int, num_sockets: int, cores_per_socket: int):
+        if num_cores != num_sockets * cores_per_socket:
+            raise MSRError("inconsistent topology for MSR register file")
+        self._num_cores = num_cores
+        self._num_sockets = num_sockets
+        self._cores_per_socket = cores_per_socket
+        self._values: dict[tuple[int, int], int] = {}
+        for addr, spec in _REGISTER_SPECS.items():
+            domains = num_cores if spec.scope is RegisterScope.CORE else num_sockets
+            for d in range(domains):
+                self._values[(addr, d)] = spec.reset
+
+    # -- helpers ----------------------------------------------------------
+    @property
+    def num_cores(self) -> int:
+        return self._num_cores
+
+    @property
+    def num_sockets(self) -> int:
+        return self._num_sockets
+
+    def _spec(self, addr: int) -> _RegisterSpec:
+        try:
+            return _REGISTER_SPECS[addr]
+        except KeyError:
+            raise MSRError(f"unknown MSR address {addr:#x}") from None
+
+    def _domain(self, addr: int, cpu: int) -> int:
+        spec = self._spec(addr)
+        if not 0 <= cpu < self._num_cores:
+            raise MSRError(f"no such cpu: {cpu}")
+        if spec.scope is RegisterScope.CORE:
+            return cpu
+        return cpu // self._cores_per_socket
+
+    # -- guest-visible interface ------------------------------------------
+    def read(self, cpu: int, addr: int) -> int:
+        """``rdmsr``: read a register through logical cpu ``cpu``."""
+        return self._values[(addr, self._domain(addr, cpu))]
+
+    def write(self, cpu: int, addr: int, value: int) -> None:
+        """``wrmsr``: write a register; read-only registers raise MSRError."""
+        spec = self._spec(addr)
+        if not spec.writable:
+            raise MSRError(f"MSR {addr:#x} is read-only")
+        if not 0 <= value <= _U64_MASK:
+            raise MSRError(f"MSR value out of 64-bit range: {value:#x}")
+        self._values[(addr, self._domain(addr, cpu))] = value
+        if addr == MSR.IA32_PERF_CTL:
+            # The P-state machine grants the requested ratio: the target in
+            # PERF_CTL bits 8:15 becomes the current ratio in PERF_STATUS.
+            ratio = (value >> 8) & 0xFF
+            self.hw_set(cpu, MSR.IA32_PERF_STATUS, ratio << 8)
+
+    # -- hardware-side interface (used by the node simulation, not guests) -
+    def hw_set(self, cpu: int, addr: int, value: int) -> None:
+        """Set any register, bypassing write protection (hardware updates)."""
+        self._spec(addr)
+        self._values[(addr, self._domain(addr, cpu))] = value & _U64_MASK
+
+    def hw_get(self, cpu: int, addr: int) -> int:
+        return self._values[(addr, self._domain(addr, cpu))]

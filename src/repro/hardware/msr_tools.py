@@ -1,0 +1,49 @@
+"""``msr-tools``-style convenience wrappers (``rdmsr`` / ``wrmsr``).
+
+On the real platform frequency control goes through the ``msr`` kernel
+module; ``rdmsr -p <cpu> <addr>`` and ``wrmsr -p <cpu> <addr> <value>``
+are the lowest-level knobs.  These functions provide that exact interface
+against a :class:`~repro.hardware.msr.MSRRegisterFile`, including the
+textual hex forms the CLI tools use, so higher layers (``x86_adapt``) can
+be exercised over the same protocol.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MSRError
+from repro.hardware.msr import MSRRegisterFile
+
+
+def _parse_int(text: int | str) -> int:
+    if isinstance(text, int):
+        return text
+    return int(text, 0)  # accepts "0x199" and "409"
+
+
+def rdmsr(regfile: MSRRegisterFile, cpu: int, addr: int | str) -> int:
+    """Read MSR ``addr`` on processor ``cpu`` (like ``rdmsr -p cpu addr``)."""
+    return regfile.read(cpu, _parse_int(addr))
+
+
+def wrmsr(regfile: MSRRegisterFile, cpu: int, addr: int | str, value: int | str) -> None:
+    """Write MSR ``addr`` on processor ``cpu`` (like ``wrmsr -p cpu addr val``)."""
+    regfile.write(cpu, _parse_int(addr), _parse_int(value))
+
+
+def rdmsr_all(regfile: MSRRegisterFile, addr: int | str) -> list[int]:
+    """Read MSR ``addr`` on every processor (like ``rdmsr -a``)."""
+    a = _parse_int(addr)
+    return [regfile.read(cpu, a) for cpu in range(regfile.num_cores)]
+
+
+def wrmsr_all(regfile: MSRRegisterFile, addr: int | str, value: int | str) -> None:
+    """Write MSR ``addr`` on every processor (like ``wrmsr -a``)."""
+    a, v = _parse_int(addr), _parse_int(value)
+    errors = []
+    for cpu in range(regfile.num_cores):
+        try:
+            regfile.write(cpu, a, v)
+        except MSRError as exc:  # pragma: no cover - uniform registers
+            errors.append(str(exc))
+    if errors:
+        raise MSRError("; ".join(errors))

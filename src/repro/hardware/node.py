@@ -1,0 +1,131 @@
+"""One simulated compute node: registers, knobs, meters and ground truth.
+
+:class:`ComputeNode` is the object the execution simulator runs
+applications on.  It owns
+
+* the MSR register file and the DVFS/UFS controllers over it,
+* the ``x86_adapt`` knob device the PCP plugins use,
+* the RAPL accumulators/reader and the HDEEM monitor,
+* the ground-truth :class:`~repro.hardware.power.PowerModel` with this
+  node's variability factors.
+
+Simulated time advances only through :meth:`advance`, which charges
+energy into every meter consistently.
+"""
+
+from __future__ import annotations
+
+from repro import config
+from repro.errors import HardwareError
+from repro.hardware.frequency import DVFSController, UFSController
+from repro.hardware.hdeem import HdeemMonitor
+from repro.hardware.msr import MSRRegisterFile
+from repro.hardware.power import NodeVariability, PowerBreakdown, PowerModel
+from repro.hardware.rapl import RaplAccumulator, RaplDomain, RaplReader
+from repro.hardware.topology import NodeTopology
+from repro.hardware.x86_adapt import X86AdaptDevice
+
+
+class ComputeNode:
+    """A dual-socket Haswell-EP-like compute node."""
+
+    def __init__(
+        self,
+        node_id: int = 0,
+        *,
+        seed: int = config.DEFAULT_SEED,
+        topology: NodeTopology | None = None,
+        variability: NodeVariability | None = None,
+    ):
+        self.node_id = node_id
+        self.seed = seed
+        self.topology = topology or NodeTopology.default()
+        cores_per_socket = self.topology.sockets[0].num_cores
+        self.msr = MSRRegisterFile(
+            num_cores=self.topology.num_cores,
+            num_sockets=self.topology.num_sockets,
+            cores_per_socket=cores_per_socket,
+        )
+        self.dvfs = DVFSController(self.msr, self.topology)
+        self.ufs = UFSController(self.msr, self.topology)
+        self.x86_adapt = X86AdaptDevice(self.dvfs, self.ufs)
+        self.power_model = PowerModel(
+            variability or NodeVariability.sample(node_id, seed=seed),
+            num_sockets=self.topology.num_sockets,
+            num_cores=self.topology.num_cores,
+        )
+        self.hdeem = HdeemMonitor(node_id, seed=seed)
+        self._rapl_accumulators = [
+            RaplAccumulator(self.msr, s.socket_id, cores_per_socket)
+            for s in self.topology.sockets
+        ]
+        self.rapl = RaplReader(self.msr, self.topology.num_sockets, cores_per_socket)
+        self._now_s = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def now_s(self) -> float:
+        """Current simulated wall-clock time on this node."""
+        return self._now_s
+
+    @property
+    def core_freq_ghz(self) -> float:
+        return self.dvfs.node_frequency()
+
+    @property
+    def uncore_freq_ghz(self) -> float:
+        return self.ufs.node_frequency()
+
+    def set_frequencies(self, core_ghz: float, uncore_ghz: float) -> None:
+        """Convenience: program every core and socket of the node."""
+        self.dvfs.set_all(core_ghz)
+        self.ufs.set_all(uncore_ghz)
+
+    def reset_to_default(self) -> None:
+        """Return to the platform default operating point (2.5 | 3.0 GHz)."""
+        self.set_frequencies(
+            config.DEFAULT_CORE_FREQ_GHZ, config.DEFAULT_UNCORE_FREQ_GHZ
+        )
+
+    # ------------------------------------------------------------------
+    def compute_power(
+        self,
+        *,
+        active_threads: int,
+        core_activity: float,
+        uncore_activity: float,
+        membw_gbs: float,
+    ) -> PowerBreakdown:
+        """Ground-truth power at the node's current frequencies."""
+        return self.power_model.power(
+            core_freq_ghz=self.core_freq_ghz,
+            uncore_freq_ghz=self.uncore_freq_ghz,
+            active_threads=active_threads,
+            core_activity=core_activity,
+            uncore_activity=uncore_activity,
+            membw_gbs=membw_gbs,
+        )
+
+    def advance(self, duration_s: float, breakdown: PowerBreakdown) -> None:
+        """Advance simulated time, charging every meter.
+
+        RAPL energy splits evenly across sockets (workloads here are
+        node-balanced); HDEEM records total node power.
+        """
+        if duration_s < 0:
+            raise HardwareError("cannot advance time backwards")
+        if duration_s == 0:
+            return
+        self._now_s += duration_s
+        self.hdeem.advance(duration_s, breakdown.node_w)
+        n = len(self._rapl_accumulators)
+        for acc in self._rapl_accumulators:
+            acc.deposit(RaplDomain.PACKAGE, breakdown.rapl_package_w * duration_s / n)
+            acc.deposit(RaplDomain.DRAM, breakdown.rapl_dram_w * duration_s / n)
+
+    def advance_idle(self, duration_s: float) -> None:
+        """Advance time with no workload running."""
+        self.advance(
+            duration_s,
+            self.power_model.idle_power(self.core_freq_ghz, self.uncore_freq_ghz),
+        )

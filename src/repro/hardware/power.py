@@ -1,0 +1,187 @@
+"""Ground-truth node power model (the simulated physics).
+
+This is the *hardware side* of the simulation: the analytic model that
+generates node power draw as a function of the operating point and of
+what the workload is doing.  The tuning stack never reads it directly —
+it observes energy only through the RAPL and HDEEM instruments — so the
+model plays the role the physical Haswell-EP node plays in the paper.
+
+Structure (DESIGN.md Section 5)::
+
+    P_node = P_static * nu                        (board + sockets at idle)
+           + T * (a f_c^3 + b f_c) * u * mu       (active cores)
+           + S * (c f_u^3 + d f_u) * act_u * mu   (uncore: L3/ring/IMC)
+           + P_dram_bg + e * BW                   (DRAM background + traffic)
+           + P_blade                              (fans, NIC, VRs)
+
+with per-node variability factors ``nu`` (static) and ``mu`` (dynamic)
+drawn once per node — this is the node-to-node spread of Figures 2a/3a
+that energy normalization removes.
+
+The RAPL view covers the CPU packages and DRAM only (no blade), exactly
+the difference between the paper's "CPU energy" (measure-rapl) and "job
+energy" (sacct / HDEEM node energy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import config
+from repro.util.rng import rng_for
+from repro.util.validation import check_fraction, check_positive
+
+
+@dataclass(frozen=True)
+class NodeVariability:
+    """Per-node manufacturing variability factors.
+
+    ``static_factor`` scales leakage/idle power, ``dynamic_factor`` scales
+    switching power.  Both are lognormal around 1 with sigma
+    :data:`repro.config.NODE_VARIABILITY_SIGMA`.
+    """
+
+    static_factor: float
+    dynamic_factor: float
+
+    @classmethod
+    def sample(cls, node_id: int, *, seed: int = config.DEFAULT_SEED) -> "NodeVariability":
+        rng = rng_for("node-variability", node_id, seed=seed)
+        s = float(rng.lognormal(0.0, config.NODE_VARIABILITY_SIGMA))
+        d = float(rng.lognormal(0.0, config.NODE_VARIABILITY_SIGMA * 0.7))
+        return cls(static_factor=s, dynamic_factor=d)
+
+    @classmethod
+    def nominal(cls) -> "NodeVariability":
+        """A perfectly average node (used for model calibration tests)."""
+        return cls(static_factor=1.0, dynamic_factor=1.0)
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Instantaneous node power split into its components (watts)."""
+
+    static_w: float
+    core_dynamic_w: float
+    uncore_dynamic_w: float
+    dram_w: float
+    blade_w: float
+
+    @property
+    def node_w(self) -> float:
+        """Total node power — what HDEEM / sacct job energy sees."""
+        return (
+            self.static_w
+            + self.core_dynamic_w
+            + self.uncore_dynamic_w
+            + self.dram_w
+            + self.blade_w
+        )
+
+    @property
+    def rapl_package_w(self) -> float:
+        """Both packages' RAPL PKG domain power (cores + uncore + leakage)."""
+        leakage = config.PACKAGE_LEAKAGE_W * config.SOCKETS_PER_NODE
+        return self.core_dynamic_w + self.uncore_dynamic_w + leakage
+
+    @property
+    def rapl_dram_w(self) -> float:
+        """RAPL DRAM domain power."""
+        return self.dram_w
+
+    @property
+    def cpu_w(self) -> float:
+        """What ``measure-rapl`` reports: package + DRAM domains."""
+        return self.rapl_package_w + self.rapl_dram_w
+
+
+class PowerModel:
+    """Analytic power model for one node.
+
+    Parameters
+    ----------
+    variability:
+        The node's manufacturing variability factors.
+    num_sockets, num_cores:
+        Topology; defaults to the platform of the paper.
+    """
+
+    def __init__(
+        self,
+        variability: NodeVariability | None = None,
+        *,
+        num_sockets: int = config.SOCKETS_PER_NODE,
+        num_cores: int = config.CORES_PER_NODE,
+    ):
+        self.variability = variability or NodeVariability.nominal()
+        self.num_sockets = num_sockets
+        self.num_cores = num_cores
+
+    def core_dynamic_power_w(
+        self, core_freq_ghz: float, active_threads: int, core_activity: float
+    ) -> float:
+        """Dynamic power of the active cores.
+
+        ``core_activity`` in [0, 1] is the effective switching activity: 1
+        for a core retiring at full tilt, lower when stalled on memory
+        (stalled cores still clock but large units idle).
+        """
+        check_positive("core_freq_ghz", core_freq_ghz)
+        check_fraction("core_activity", core_activity)
+        if not 0 <= active_threads <= self.num_cores:
+            raise ValueError(
+                f"active_threads must be in [0, {self.num_cores}], got {active_threads}"
+            )
+        per_core = (
+            config.CORE_DYN_CUBE_W_PER_GHZ3 * core_freq_ghz**3
+            + config.CORE_DYN_LIN_W_PER_GHZ * core_freq_ghz
+        )
+        return active_threads * per_core * core_activity * self.variability.dynamic_factor
+
+    def uncore_dynamic_power_w(self, uncore_freq_ghz: float, uncore_activity: float) -> float:
+        """Dynamic power of the uncore (L3, ring, memory controllers)."""
+        check_positive("uncore_freq_ghz", uncore_freq_ghz)
+        check_fraction("uncore_activity", uncore_activity)
+        per_socket = (
+            config.UNCORE_DYN_CUBE_W_PER_GHZ3 * uncore_freq_ghz**3
+            + config.UNCORE_DYN_LIN_W_PER_GHZ * uncore_freq_ghz
+        )
+        act = config.UNCORE_IDLE_ACTIVITY + (1.0 - config.UNCORE_IDLE_ACTIVITY) * uncore_activity
+        return self.num_sockets * per_socket * act * self.variability.dynamic_factor
+
+    def dram_power_w(self, membw_gbs: float) -> float:
+        """DRAM power: background refresh plus traffic-proportional term."""
+        check_positive("membw_gbs", membw_gbs, strict=False)
+        return config.DRAM_BACKGROUND_POWER_W + config.DRAM_POWER_W_PER_GBS * membw_gbs
+
+    def power(
+        self,
+        *,
+        core_freq_ghz: float,
+        uncore_freq_ghz: float,
+        active_threads: int,
+        core_activity: float,
+        uncore_activity: float,
+        membw_gbs: float,
+    ) -> PowerBreakdown:
+        """Full node power breakdown at the given operating point."""
+        return PowerBreakdown(
+            static_w=config.NODE_IDLE_POWER_W * self.variability.static_factor,
+            core_dynamic_w=self.core_dynamic_power_w(
+                core_freq_ghz, active_threads, core_activity
+            ),
+            uncore_dynamic_w=self.uncore_dynamic_power_w(uncore_freq_ghz, uncore_activity),
+            dram_w=self.dram_power_w(membw_gbs),
+            blade_w=config.BLADE_POWER_W,
+        )
+
+    def idle_power(self, core_freq_ghz: float, uncore_freq_ghz: float) -> PowerBreakdown:
+        """Node power with no workload running."""
+        return self.power(
+            core_freq_ghz=core_freq_ghz,
+            uncore_freq_ghz=uncore_freq_ghz,
+            active_threads=0,
+            core_activity=0.0,
+            uncore_activity=0.0,
+            membw_gbs=0.0,
+        )

@@ -1,0 +1,108 @@
+"""RAPL energy counters over the simulated MSRs.
+
+Intel's Running Average Power Limit interface exposes per-package and
+per-DRAM-domain energy accumulators as 32-bit MSR fields in units of
+``1 / 2**ESU`` joules (61 uJ on Haswell).  The counters wrap around every
+few minutes under load; :class:`RaplReader` handles the wraparound the
+way ``measure-rapl`` does — by sampling often enough that at most one
+wrap occurs between samples.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import HardwareError
+from repro.hardware.msr import MSR, MSRRegisterFile, RAPL_ESU
+
+#: Joules per counter increment.
+RAPL_ENERGY_UNIT_J = 1.0 / (1 << RAPL_ESU)
+
+_COUNTER_MASK = (1 << 32) - 1
+
+
+class RaplDomain(enum.Enum):
+    """RAPL measurement domains modelled on the platform."""
+
+    PACKAGE = MSR.MSR_PKG_ENERGY_STATUS
+    DRAM = MSR.MSR_DRAM_ENERGY_STATUS
+
+
+class RaplAccumulator:
+    """Hardware side: accumulates joules into the wrapping MSR counters.
+
+    One accumulator exists per socket; the node simulation calls
+    :meth:`deposit` as (simulated) time advances.
+    """
+
+    def __init__(self, regfile: MSRRegisterFile, socket_id: int, cores_per_socket: int):
+        self._regfile = regfile
+        self._cpu = socket_id * cores_per_socket  # any core of the socket
+        self._residual = {RaplDomain.PACKAGE: 0.0, RaplDomain.DRAM: 0.0}
+
+    def deposit(self, domain: RaplDomain, joules: float) -> None:
+        """Add ``joules`` to the domain counter, honouring unit quantisation."""
+        if joules < 0:
+            raise HardwareError("cannot deposit negative energy")
+        total = self._residual[domain] + joules
+        ticks = int(total / RAPL_ENERGY_UNIT_J)
+        self._residual[domain] = total - ticks * RAPL_ENERGY_UNIT_J
+        old = self._regfile.hw_get(self._cpu, domain.value)
+        self._regfile.hw_set(self._cpu, domain.value, (old + ticks) & _COUNTER_MASK)
+
+
+@dataclass
+class _DomainSample:
+    raw: int
+    joules_total: float  # unwrapped
+
+
+class RaplReader:
+    """Software side: reads energy like ``measure-rapl`` / PAPI's RAPL component.
+
+    Tracks the last raw value per (socket, domain) and unwraps 32-bit
+    overflow, assuming at most one wrap between consecutive reads.
+    """
+
+    def __init__(self, regfile: MSRRegisterFile, num_sockets: int, cores_per_socket: int):
+        self._regfile = regfile
+        self._num_sockets = num_sockets
+        self._cores_per_socket = cores_per_socket
+        # Read the ESU from MSR_RAPL_POWER_UNIT the way real tools do.
+        unit_reg = regfile.read(0, MSR.MSR_RAPL_POWER_UNIT)
+        self._unit_j = 1.0 / (1 << ((unit_reg >> 8) & 0x1F))
+        self._last: dict[tuple[int, RaplDomain], _DomainSample] = {}
+
+    @property
+    def energy_unit_j(self) -> float:
+        return self._unit_j
+
+    def _raw(self, socket_id: int, domain: RaplDomain) -> int:
+        cpu = socket_id * self._cores_per_socket
+        return self._regfile.read(cpu, domain.value)
+
+    def read_joules(self, socket_id: int, domain: RaplDomain) -> float:
+        """Monotonic unwrapped energy for one socket/domain, in joules."""
+        if not 0 <= socket_id < self._num_sockets:
+            raise HardwareError(f"no such socket: {socket_id}")
+        raw = self._raw(socket_id, domain)
+        key = (socket_id, domain)
+        prev = self._last.get(key)
+        if prev is None:
+            total = raw * self._unit_j
+        else:
+            delta = (raw - prev.raw) & _COUNTER_MASK  # unwrap one overflow
+            total = prev.joules_total + delta * self._unit_j
+        self._last[key] = _DomainSample(raw=raw, joules_total=total)
+        return total
+
+    def read_node_joules(self, domain: RaplDomain) -> float:
+        """Sum of the domain energy over all sockets."""
+        return sum(self.read_joules(s, domain) for s in range(self._num_sockets))
+
+    def read_cpu_energy_joules(self) -> float:
+        """Package + DRAM over all sockets — the paper's "CPU energy"."""
+        return self.read_node_joules(RaplDomain.PACKAGE) + self.read_node_joules(
+            RaplDomain.DRAM
+        )

@@ -1,0 +1,82 @@
+"""Node topology: sockets and cores of the simulated Haswell-EP node."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import config
+
+
+@dataclass(frozen=True)
+class CoreInfo:
+    """One physical core (Hyper-Threading is disabled on the platform)."""
+
+    core_id: int
+    socket_id: int
+
+    def __post_init__(self) -> None:
+        if self.core_id < 0 or self.socket_id < 0:
+            raise ValueError("core_id and socket_id must be non-negative")
+
+
+@dataclass(frozen=True)
+class SocketInfo:
+    """One processor package with its cores."""
+
+    socket_id: int
+    cores: tuple[CoreInfo, ...]
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.cores)
+
+
+@dataclass(frozen=True)
+class NodeTopology:
+    """Sockets/cores layout of one compute node.
+
+    Core ids are globally numbered across sockets in socket order, matching
+    Linux's view with HT disabled (cores 0-11 on socket 0, 12-23 on
+    socket 1 for the default platform).
+    """
+
+    sockets: tuple[SocketInfo, ...] = field(default_factory=tuple)
+
+    @classmethod
+    def default(cls) -> "NodeTopology":
+        """The paper's platform: 2 sockets x 12 cores."""
+        return cls.build(config.SOCKETS_PER_NODE, config.CORES_PER_SOCKET)
+
+    @classmethod
+    def build(cls, num_sockets: int, cores_per_socket: int) -> "NodeTopology":
+        if num_sockets <= 0 or cores_per_socket <= 0:
+            raise ValueError("topology dimensions must be positive")
+        sockets = []
+        core_id = 0
+        for s in range(num_sockets):
+            cores = tuple(
+                CoreInfo(core_id=core_id + i, socket_id=s)
+                for i in range(cores_per_socket)
+            )
+            core_id += cores_per_socket
+            sockets.append(SocketInfo(socket_id=s, cores=cores))
+        return cls(sockets=tuple(sockets))
+
+    @property
+    def num_sockets(self) -> int:
+        return len(self.sockets)
+
+    @property
+    def num_cores(self) -> int:
+        return sum(s.num_cores for s in self.sockets)
+
+    def socket_of_core(self, core_id: int) -> int:
+        """Return the socket id owning ``core_id``."""
+        for socket in self.sockets:
+            for core in socket.cores:
+                if core.core_id == core_id:
+                    return socket.socket_id
+        raise ValueError(f"no such core: {core_id}")
+
+    def all_core_ids(self) -> tuple[int, ...]:
+        return tuple(c.core_id for s in self.sockets for c in s.cores)

@@ -1,0 +1,76 @@
+"""``x86_adapt``-style knob interface over the MSR layer.
+
+The paper's PCP plugins and the ``measure-rapl`` tool use the x86_adapt
+library [Schoene & Molka 2014], which exposes named configuration items
+per core / per "die" (socket) instead of raw MSR addresses.  This module
+reproduces that API shape: device handles per domain, integer knob values,
+and named items for P-state and uncore-ratio control.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro import config
+from repro.errors import HardwareError
+from repro.hardware.frequency import DVFSController, UFSController
+from repro.hardware.msr import ratio_of_ghz, ghz_of_ratio
+
+
+class X86AdaptKnob(enum.Enum):
+    """Named configuration items (subset used by the READEX PCPs)."""
+
+    #: Per-core target P-state ratio (100 MHz units).
+    INTEL_TARGET_PSTATE = "Intel_Target_PState"
+    #: Per-socket uncore min/max ratio, pinned together (100 MHz units).
+    INTEL_UNCORE_RATIO = "Intel_UNCORE_Current_Ratio"
+
+
+@dataclass(frozen=True)
+class _KnobRange:
+    lo: int
+    hi: int
+
+
+class X86AdaptDevice:
+    """Handle to one node's adapt items.
+
+    ``set_setting(domain_id, knob, value)`` mirrors
+    ``x86_adapt_set_setting``; values are MSR-style ratios.
+    """
+
+    def __init__(self, dvfs: DVFSController, ufs: UFSController):
+        self._dvfs = dvfs
+        self._ufs = ufs
+        self._ranges = {
+            X86AdaptKnob.INTEL_TARGET_PSTATE: _KnobRange(
+                ratio_of_ghz(config.CORE_FREQ_MIN_GHZ),
+                ratio_of_ghz(config.CORE_FREQ_MAX_GHZ),
+            ),
+            X86AdaptKnob.INTEL_UNCORE_RATIO: _KnobRange(
+                ratio_of_ghz(config.UNCORE_FREQ_MIN_GHZ),
+                ratio_of_ghz(config.UNCORE_FREQ_MAX_GHZ),
+            ),
+        }
+
+    def knob_range(self, knob: X86AdaptKnob) -> tuple[int, int]:
+        r = self._ranges[knob]
+        return (r.lo, r.hi)
+
+    def set_setting(self, domain_id: int, knob: X86AdaptKnob, value: int) -> None:
+        """Program a knob; ``domain_id`` is a core id (P-state) or socket id."""
+        r = self._ranges[knob]
+        if not r.lo <= value <= r.hi:
+            raise HardwareError(
+                f"{knob.value}={value} outside supported range [{r.lo}, {r.hi}]"
+            )
+        if knob is X86AdaptKnob.INTEL_TARGET_PSTATE:
+            self._dvfs.set_frequency(domain_id, ghz_of_ratio(value))
+        else:
+            self._ufs.set_frequency(domain_id, ghz_of_ratio(value))
+
+    def get_setting(self, domain_id: int, knob: X86AdaptKnob) -> int:
+        if knob is X86AdaptKnob.INTEL_TARGET_PSTATE:
+            return ratio_of_ghz(self._dvfs.get_frequency(domain_id))
+        return ratio_of_ghz(self._ufs.get_frequency(domain_id))

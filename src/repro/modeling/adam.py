@@ -1,0 +1,60 @@
+"""ADAM optimiser [Kingma & Ba 2014] with the paper's defaults.
+
+Section V-B: "we use the default parameters of ADAM and a learning rate
+of 1e-3".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+class Adam:
+    """Adaptive moment estimation over a flat list of parameter arrays."""
+
+    def __init__(
+        self,
+        parameters: list[np.ndarray],
+        *,
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ):
+        if learning_rate <= 0:
+            raise ModelError("learning rate must be positive")
+        if not (0 <= beta1 < 1 and 0 <= beta2 < 1):
+            raise ModelError("betas must lie in [0, 1)")
+        self._params = parameters
+        self.learning_rate = learning_rate
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.epsilon = epsilon
+        self._m = [np.zeros_like(p) for p in parameters]
+        self._v = [np.zeros_like(p) for p in parameters]
+        self._t = 0
+
+    def step(self, gradients: list[np.ndarray]) -> None:
+        """Apply one update given gradients aligned with the parameters."""
+        if len(gradients) != len(self._params):
+            raise ModelError(
+                f"expected {len(self._params)} gradients, got {len(gradients)}"
+            )
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        for p, g, m, v in zip(self._params, gradients, self._m, self._v):
+            if g.shape != p.shape:
+                raise ModelError(f"gradient shape {g.shape} != param {p.shape}")
+            m *= b1
+            m += (1 - b1) * g
+            v *= b2
+            v += (1 - b2) * g * g
+            m_hat = m / (1 - b1**self._t)
+            v_hat = v / (1 - b2**self._t)
+            p -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+    @property
+    def steps_taken(self) -> int:
+        return self._t

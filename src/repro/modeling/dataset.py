@@ -1,0 +1,251 @@
+"""Training-data acquisition (Section IV-A / V-B).
+
+For every benchmark and (for OpenMP/hybrid codes) every thread count in
+the 12..24 step-4 sweep:
+
+* PAPI counter values are measured at the calibration operating point
+  (2.0 GHz core, 1.5 GHz uncore), averaged over multiple runs (the PMU's
+  4-counter limit forces multiplexed runs anyway), and normalised by the
+  phase execution time — giving *rates*;
+* node energy is measured across the DVFS sweep (all core frequencies at
+  the calibration uncore frequency) and the UFS sweep (all uncore
+  frequencies at the calibration core frequency), and normalised by the
+  energy at the calibration point of the same series — giving ``E_norm``
+  targets (run time is kept alongside for the power/time regression
+  baseline).
+
+One sample is ``[counter rates..., CF, UCF] -> E_norm``.  The thread
+count is *not* an input of the network (Figure 4 has nine inputs); it
+enters indirectly through the rates, which are measured at the same
+thread count as the energies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import config
+from repro.counters.papi import TABLE1_COUNTERS, preset
+from repro.errors import ModelError
+from repro.execution.simulator import ExecutionSimulator
+from repro.hardware.cluster import Cluster
+from repro.workloads import registry
+from repro.workloads.application import Application
+
+#: The model's counter features (Table I), in the paper's order.
+FEATURE_COUNTERS: tuple[str, ...] = TABLE1_COUNTERS
+
+#: Runs averaged for the counter measurement.
+COUNTER_MEASUREMENT_RUNS = 3
+
+
+@dataclass
+class EnergyDataset:
+    """Feature matrix, targets and per-sample benchmark labels."""
+
+    features: np.ndarray          #: shape (n, n_counters + 2)
+    targets: np.ndarray           #: normalized node energy, shape (n,)
+    times: np.ndarray             #: normalized run time, shape (n,)
+    groups: np.ndarray            #: benchmark name per sample, shape (n,)
+    feature_names: tuple[str, ...]
+    counter_rates: dict[str, np.ndarray]  #: per (benchmark, threads) rates
+
+    def __post_init__(self):
+        if self.features.ndim != 2:
+            raise ModelError("features must be 2-D")
+        n = self.features.shape[0]
+        if not (
+            self.targets.shape == (n,)
+            and self.groups.shape == (n,)
+            and self.times.shape == (n,)
+        ):
+            raise ModelError("features/targets/times/groups size mismatch")
+
+    @property
+    def benchmarks(self) -> tuple[str, ...]:
+        seen: list[str] = []
+        for g in self.groups:
+            if g not in seen:
+                seen.append(str(g))
+        return tuple(seen)
+
+    def subset(self, names) -> "EnergyDataset":
+        """Rows belonging to the given benchmarks."""
+        names = set(names)
+        mask = np.array([g in names for g in self.groups])
+        if not mask.any():
+            raise ModelError(f"no samples for benchmarks {sorted(names)}")
+        return EnergyDataset(
+            features=self.features[mask],
+            targets=self.targets[mask],
+            times=self.times[mask],
+            groups=self.groups[mask],
+            feature_names=self.feature_names,
+            counter_rates={
+                k: v for k, v in self.counter_rates.items() if k[0] in names
+            },
+        )
+
+    def split(self, holdout) -> tuple["EnergyDataset", "EnergyDataset"]:
+        """(train, test) split by benchmark names."""
+        holdout = set(holdout)
+        rest = [b for b in self.benchmarks if b not in holdout]
+        return self.subset(rest), self.subset(holdout)
+
+
+def measure_counter_rates(
+    app: Application,
+    cluster: Cluster,
+    *,
+    node_id: int = 0,
+    threads: int | None = None,
+    counters: tuple[str, ...] = FEATURE_COUNTERS,
+    runs: int = COUNTER_MEASUREMENT_RUNS,
+    seed: int = config.DEFAULT_SEED,
+) -> dict[str, float]:
+    """Counter rates (events per second of phase time) at calibration."""
+    canonical = [preset(c).name for c in counters]
+    sums = {c: 0.0 for c in canonical}
+    phase_time = 0.0
+    for r in range(runs):
+        node = cluster.fresh_node(node_id)
+        node.set_frequencies(
+            config.CALIBRATION_CORE_FREQ_GHZ, config.CALIBRATION_UNCORE_FREQ_GHZ
+        )
+
+        class _Collect:
+            def __init__(self):
+                self.totals = {c: 0.0 for c in canonical}
+                self.phase_time = 0.0
+
+            def on_enter(self, region, iteration, time_s):
+                pass
+
+            def on_exit(self, region, iteration, time_s, metrics):
+                # Counters are inclusive, so the phase record carries the
+                # whole iteration's totals (Section III-C: the plugin
+                # requests metrics for the phase region).
+                if region.kind.value == "phase":
+                    for c in canonical:
+                        self.totals[c] += metrics.get(c, 0.0)
+                    self.phase_time += metrics["time_s"]
+
+        collector = _Collect()
+        ExecutionSimulator(node, seed=seed).run(
+            app,
+            threads=threads,
+            listeners=(collector,),
+            collect_counters=True,
+            run_key=("counters", threads, r),
+        )
+        for c in canonical:
+            sums[c] += collector.totals[c]
+        phase_time += collector.phase_time
+    if phase_time <= 0:
+        raise ModelError(f"{app.name}: no phase time measured")
+    # Average across runs, then normalise by phase execution time
+    # (Section IV-C: "PAPI counters are further normalized by dividing
+    # them with the execution time of one phase iteration").
+    return {c: sums[c] / phase_time for c in canonical}
+
+
+def sweep_operating_points() -> list[tuple[float, float]]:
+    """The paper's training sweep: DVFS axis then UFS axis."""
+    points = [
+        (cf, config.CALIBRATION_UNCORE_FREQ_GHZ)
+        for cf in config.CORE_FREQUENCIES_GHZ
+    ]
+    points += [
+        (config.CALIBRATION_CORE_FREQ_GHZ, ucf)
+        for ucf in config.UNCORE_FREQUENCIES_GHZ
+        if (config.CALIBRATION_CORE_FREQ_GHZ, ucf) not in points
+    ]
+    return points
+
+
+def measure_normalized_energy(
+    app: Application,
+    cluster: Cluster,
+    *,
+    node_id: int = 0,
+    threads: int | None = None,
+    seed: int = config.DEFAULT_SEED,
+) -> dict[tuple[float, float], tuple[float, float]]:
+    """Per sweep point: (normalized energy, normalized time).
+
+    Both are relative to the calibration point of this series (same
+    benchmark, same thread count).
+    """
+    raw: dict[tuple[float, float], tuple[float, float]] = {}
+    for cf, ucf in sweep_operating_points():
+        node = cluster.fresh_node(node_id)
+        node.set_frequencies(cf, ucf)
+        run = ExecutionSimulator(node, seed=seed).run(
+            app, threads=threads, run_key=("sweep", threads, cf, ucf)
+        )
+        raw[(cf, ucf)] = (run.node_energy_j, run.time_s)
+    cal_e, cal_t = raw[
+        (config.CALIBRATION_CORE_FREQ_GHZ, config.CALIBRATION_UNCORE_FREQ_GHZ)
+    ]
+    return {p: (e / cal_e, t / cal_t) for p, (e, t) in raw.items()}
+
+
+def build_dataset(
+    benchmarks: tuple[str, ...] | list[str] | None = None,
+    *,
+    cluster: Cluster | None = None,
+    node_id: int = 0,
+    counters: tuple[str, ...] = FEATURE_COUNTERS,
+    thread_counts: tuple[int, ...] | None = None,
+    seed: int = config.DEFAULT_SEED,
+) -> EnergyDataset:
+    """Assemble the full training dataset for the given benchmarks.
+
+    ``thread_counts`` defaults to the paper's 12..24 step-4 sweep for
+    thread-tunable codes; MPI-only codes contribute one series at their
+    fixed configuration.
+    """
+    if benchmarks is None:
+        benchmarks = registry.benchmark_names()
+    if thread_counts is None:
+        thread_counts = config.OPENMP_THREAD_CANDIDATES
+    cluster = cluster or Cluster(4, seed=seed)
+    canonical = [preset(c).name for c in counters]
+    rows, targets, times, groups = [], [], [], []
+    counter_rates: dict[tuple[str, int], np.ndarray] = {}
+    for name in benchmarks:
+        app = registry.build(name)
+        series = (
+            thread_counts
+            if app.model.supports_thread_tuning
+            else (app.default_threads,)
+        )
+        for threads in series:
+            rates = measure_counter_rates(
+                app,
+                cluster,
+                node_id=node_id,
+                threads=threads,
+                counters=tuple(canonical),
+                seed=seed,
+            )
+            rate_vec = np.array([rates[c] for c in canonical])
+            counter_rates[(name, threads)] = rate_vec
+            for (cf, ucf), (e_norm, t_norm) in measure_normalized_energy(
+                app, cluster, node_id=node_id, threads=threads, seed=seed
+            ).items():
+                rows.append(np.concatenate([rate_vec, [cf, ucf]]))
+                targets.append(e_norm)
+                times.append(t_norm)
+                groups.append(name)
+    feature_names = tuple(preset(c).short_name for c in canonical) + ("CF", "UCF")
+    return EnergyDataset(
+        features=np.asarray(rows, dtype=float),
+        targets=np.asarray(targets, dtype=float),
+        times=np.asarray(times, dtype=float),
+        groups=np.asarray(groups, dtype=object),
+        feature_names=feature_names,
+        counter_rates=counter_rates,
+    )

@@ -1,0 +1,78 @@
+"""Neural-network building blocks (numpy, from scratch).
+
+Only what the paper's architecture needs: dense layers with He
+initialisation [32] and ReLU activations [30].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.util.rng import rng_for
+
+
+class Dense:
+    """Fully-connected layer ``y = x W + b``.
+
+    Weights are drawn from a zero-mean unit-std Gaussian scaled by
+    ``sqrt(2 / n_in)`` (He et al.), biases start at zero — exactly the
+    initialisation Section IV-C describes.
+    """
+
+    def __init__(self, n_in: int, n_out: int, *, rng: np.random.Generator | None = None):
+        if n_in <= 0 or n_out <= 0:
+            raise ModelError("layer dimensions must be positive")
+        rng = rng or rng_for("dense-init", n_in, n_out)
+        self.weights = rng.standard_normal((n_in, n_out)) * np.sqrt(2.0 / n_in)
+        self.bias = np.zeros(n_out)
+        self._x: np.ndarray | None = None
+        self.grad_weights = np.zeros_like(self.weights)
+        self.grad_bias = np.zeros_like(self.bias)
+
+    @property
+    def parameters(self) -> list[np.ndarray]:
+        return [self.weights, self.bias]
+
+    @property
+    def gradients(self) -> list[np.ndarray]:
+        return [self.grad_weights, self.grad_bias]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.weights.shape[0]:
+            raise ModelError(
+                f"dense layer expected (*, {self.weights.shape[0]}), got {x.shape}"
+            )
+        self._x = x
+        return x @ self.weights + self.bias
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise ModelError("backward before forward")
+        self.grad_weights = self._x.T @ grad_out
+        self.grad_bias = grad_out.sum(axis=0)
+        return grad_out @ self.weights.T
+
+
+class ReLU:
+    """Rectified linear unit, elementwise."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    @property
+    def parameters(self) -> list[np.ndarray]:
+        return []
+
+    @property
+    def gradients(self) -> list[np.ndarray]:
+        return []
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise ModelError("backward before forward")
+        return grad_out * self._mask

@@ -1,0 +1,29 @@
+"""Mean-squared-error objective (Section IV-C)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+def _check(pred: np.ndarray, target: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    pred = np.asarray(pred, dtype=float)
+    target = np.asarray(target, dtype=float)
+    if pred.shape != target.shape:
+        raise ModelError(f"shape mismatch: {pred.shape} vs {target.shape}")
+    if pred.size == 0:
+        raise ModelError("empty prediction batch")
+    return pred, target
+
+
+def mse(pred: np.ndarray, target: np.ndarray) -> float:
+    """Mean squared error over the batch."""
+    pred, target = _check(pred, target)
+    return float(np.mean((pred - target) ** 2))
+
+
+def mse_gradient(pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+    """Gradient of the MSE w.r.t. the predictions."""
+    pred, target = _check(pred, target)
+    return 2.0 * (pred - target) / pred.size

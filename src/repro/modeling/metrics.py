@@ -1,0 +1,29 @@
+"""Model accuracy metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+def mape(pred: np.ndarray, target: np.ndarray) -> float:
+    """Mean absolute percentage error (the paper's accuracy metric).
+
+    Returned in percent, e.g. 5.2 means 5.2 %.
+    """
+    pred = np.asarray(pred, dtype=float)
+    target = np.asarray(target, dtype=float)
+    if pred.shape != target.shape or pred.size == 0:
+        raise ModelError(f"bad shapes for MAPE: {pred.shape} vs {target.shape}")
+    if np.any(target == 0):
+        raise ModelError("MAPE undefined for zero targets")
+    return float(np.mean(np.abs((pred - target) / target))) * 100.0
+
+
+def mean_absolute_error(pred: np.ndarray, target: np.ndarray) -> float:
+    pred = np.asarray(pred, dtype=float)
+    target = np.asarray(target, dtype=float)
+    if pred.shape != target.shape or pred.size == 0:
+        raise ModelError(f"bad shapes for MAE: {pred.shape} vs {target.shape}")
+    return float(np.mean(np.abs(pred - target)))

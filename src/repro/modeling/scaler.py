@@ -1,0 +1,56 @@
+"""Feature standardisation (zero mean, unit variance).
+
+Section IV-C: "We standardize and center our input data by removing the
+mean and scaling to unit variance ... The mean and scaling information is
+determined from the applications in our training set."
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+class StandardScaler:
+    """Per-feature standardisation fit on the training set only."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray) -> "StandardScaler":
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[0] == 0:
+            raise ModelError(f"scaler expects a non-empty 2-D matrix, got {x.shape}")
+        self.mean_ = x.mean(axis=0)
+        scale = x.std(axis=0)
+        # Constant features scale to 1 so transform stays finite.
+        scale[scale == 0.0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise ModelError("scaler is not fitted")
+        x = np.asarray(x, dtype=float)
+        if x.ndim != 2 or x.shape[1] != self.mean_.shape[0]:
+            raise ModelError(
+                f"expected {self.mean_.shape[0]} features, got shape {x.shape}"
+            )
+        return (x - self.mean_) / self.scale_
+
+    def fit_transform(self, x: np.ndarray) -> np.ndarray:
+        return self.fit(x).transform(x)
+
+    def to_dict(self) -> dict:
+        if self.mean_ is None or self.scale_ is None:
+            raise ModelError("scaler is not fitted")
+        return {"mean": self.mean_.tolist(), "scale": self.scale_.tolist()}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StandardScaler":
+        scaler = cls()
+        scaler.mean_ = np.asarray(data["mean"], dtype=float)
+        scaler.scale_ = np.asarray(data["scale"], dtype=float)
+        return scaler

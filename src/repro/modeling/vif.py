@@ -1,0 +1,51 @@
+"""Variance Inflation Factor — the multicollinearity criterion of Table I.
+
+VIF of feature ``j`` is ``1 / (1 - R_j^2)`` where ``R_j^2`` is the
+coefficient of determination of regressing feature ``j`` on all other
+features.  Mean VIF well below 10 indicates the selected counters are
+close to independent [28].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+
+#: Conventional multicollinearity alarm threshold.
+VIF_THRESHOLD = 10.0
+
+
+def variance_inflation_factors(x: np.ndarray) -> np.ndarray:
+    """VIF per column of ``x`` (shape ``(n_samples, n_features)``).
+
+    With a single feature there is nothing to inflate; the result is
+    ``[1.0]`` by convention (the paper lists "n/a" for the first
+    selected counter).
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 2 or x.shape[0] < 3:
+        raise ModelError(f"need a (n>=3, k) matrix for VIF, got {x.shape}")
+    n, k = x.shape
+    if k == 1:
+        return np.array([1.0])
+    vifs = np.empty(k)
+    for j in range(k):
+        y = x[:, j]
+        others = np.delete(x, j, axis=1)
+        a = np.column_stack([others, np.ones(n)])
+        coef, *_ = np.linalg.lstsq(a, y, rcond=None)
+        resid = y - a @ coef
+        ss_res = float(resid @ resid)
+        ss_tot = float(((y - y.mean()) ** 2).sum())
+        if ss_tot == 0.0:
+            vifs[j] = np.inf  # constant feature is degenerate
+            continue
+        r2 = 1.0 - ss_res / ss_tot
+        vifs[j] = np.inf if r2 >= 1.0 else 1.0 / (1.0 - r2)
+    return vifs
+
+
+def mean_vif(x: np.ndarray) -> float:
+    """Mean VIF over all features (the summary statistic of Table I)."""
+    return float(np.mean(variance_inflation_factors(x)))

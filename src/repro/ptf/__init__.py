@@ -1,0 +1,58 @@
+"""Periscope Tuning Framework (PTF) layer.
+
+The paper's contribution is a PTF *tuning plugin*; this package models
+the framework pieces the plugin needs — the Tuning Plugin Interface,
+search spaces over tuning parameters, and the experiments engine — plus
+the plugin itself and the baselines it is evaluated against:
+
+* :mod:`repro.ptf.energy_plugin` — the model-based plugin (Sections III
+  and IV): exhaustive OpenMP-thread step, NN-predicted global CF/UCF,
+  neighborhood verification per significant region, TMM generation;
+* :mod:`repro.ptf.static_tuning` — best single configuration for the
+  whole application (Table V baseline);
+* :mod:`repro.ptf.exhaustive_plugin` — the per-region exhaustive search
+  of Sourouri et al. [7] (tuning-time comparison of Section V-C);
+* :mod:`repro.ptf.objectives` — energy and the future-work objectives
+  (EDP, ED2P, TCO).
+"""
+
+from repro.ptf.plugin import TuningParameter, TuningPluginInterface, TuningContext
+from repro.ptf.search import SearchSpace, hill_climb, neighborhood
+from repro.ptf.experiments import ExperimentsEngine, RegionMeasurement
+from repro.ptf.objectives import Objective, ENERGY, EDP, ED2P, tco_objective
+from repro.ptf.energy_plugin import EnergyTuningPlugin, PluginResult
+from repro.ptf.static_tuning import StaticTuningResult, exhaustive_static_search
+from repro.ptf.exhaustive_plugin import ExhaustiveRegionTuner, TuningTimeEstimate
+from repro.ptf.framework import PeriscopeTuningFramework, TuningOutcome
+from repro.ptf.region_model import (
+    RegionModelResult,
+    RegionModelTuner,
+    RegionPrediction,
+)
+
+__all__ = [
+    "TuningParameter",
+    "TuningPluginInterface",
+    "TuningContext",
+    "SearchSpace",
+    "neighborhood",
+    "hill_climb",
+    "ExperimentsEngine",
+    "RegionMeasurement",
+    "Objective",
+    "ENERGY",
+    "EDP",
+    "ED2P",
+    "tco_objective",
+    "EnergyTuningPlugin",
+    "PluginResult",
+    "StaticTuningResult",
+    "exhaustive_static_search",
+    "ExhaustiveRegionTuner",
+    "TuningTimeEstimate",
+    "PeriscopeTuningFramework",
+    "TuningOutcome",
+    "RegionModelTuner",
+    "RegionModelResult",
+    "RegionPrediction",
+]

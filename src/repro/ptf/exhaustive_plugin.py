@@ -1,0 +1,143 @@
+"""Exhaustive per-region tuning baseline (Sourouri et al. [7]).
+
+The comparison point of Section V-C: without significant-region
+detection and without an energy model, finding the best configuration
+for each of ``n`` regions over a ``k x l x m`` parameter space costs
+``n * k * l * m * t`` seconds of tuning time (``t`` = one application
+run), against ``(k + 1 + 9) * t`` for the model-based plugin — and only
+``(k + 1 + 9)`` phase iterations when the main loop is progressive.
+
+The estimator quantifies that comparison; :class:`ExhaustiveRegionTuner`
+actually executes the exhaustive search on (optionally reduced) grids so
+the quality of its optima can be compared, too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import config
+from repro.errors import TuningError
+from repro.execution.simulator import OperatingPoint
+from repro.hardware.cluster import Cluster
+from repro.ptf.experiments import ExperimentsEngine
+from repro.ptf.objectives import ENERGY, Objective
+from repro.workloads.application import Application
+
+
+@dataclass(frozen=True)
+class TuningTimeEstimate:
+    """Tuning-time comparison of Section V-C."""
+
+    regions: int
+    thread_values: int       # k
+    core_freq_values: int    # l
+    uncore_freq_values: int  # m
+    single_run_time_s: float # t
+
+    @property
+    def exhaustive_runs(self) -> int:
+        """Sourouri et al.: n * k * l * m application runs."""
+        return (
+            self.regions
+            * self.thread_values
+            * self.core_freq_values
+            * self.uncore_freq_values
+        )
+
+    @property
+    def exhaustive_time_s(self) -> float:
+        return self.exhaustive_runs * self.single_run_time_s
+
+    @property
+    def model_based_experiments(self) -> int:
+        """The plugin: k thread experiments + 1 analysis run + 9 neighbors."""
+        return self.thread_values + 1 + 9
+
+    @property
+    def model_based_time_s(self) -> float:
+        return self.model_based_experiments * self.single_run_time_s
+
+    @property
+    def speedup(self) -> float:
+        return self.exhaustive_time_s / self.model_based_time_s
+
+
+def estimate_tuning_time(
+    app: Application,
+    single_run_time_s: float,
+    *,
+    num_regions: int | None = None,
+) -> TuningTimeEstimate:
+    """Build the Section V-C estimate for ``app``."""
+    if single_run_time_s <= 0:
+        raise TuningError("run time must be positive")
+    regions = (
+        num_regions
+        if num_regions is not None
+        else sum(1 for r in app.regions if r.has_work)
+    )
+    return TuningTimeEstimate(
+        regions=regions,
+        thread_values=len(config.OPENMP_THREAD_CANDIDATES),
+        core_freq_values=len(config.CORE_FREQUENCIES_GHZ),
+        uncore_freq_values=len(config.UNCORE_FREQUENCIES_GHZ),
+        single_run_time_s=single_run_time_s,
+    )
+
+
+class ExhaustiveRegionTuner:
+    """Executes the exhaustive per-region search (on reducible grids)."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        *,
+        node_id: int = 0,
+        objective: Objective = ENERGY,
+    ):
+        self.cluster = cluster
+        self.node_id = node_id
+        self.objective = objective
+
+    def tune(
+        self,
+        app: Application,
+        *,
+        stride: int = 1,
+        thread_counts: tuple[int, ...] | None = None,
+        regions: tuple[str, ...] | None = None,
+    ) -> tuple[dict[str, OperatingPoint], ExperimentsEngine]:
+        """Best configuration per region via exhaustive evaluation."""
+        if thread_counts is None:
+            thread_counts = (
+                config.OPENMP_THREAD_CANDIDATES
+                if app.model.supports_thread_tuning
+                else (app.default_threads,)
+            )
+        if regions is None:
+            regions = tuple(c.name for c in app.phase.children if c.has_work)
+        engine = ExperimentsEngine(self.cluster, node_id=self.node_id)
+        points = [
+            OperatingPoint(cf, ucf, t)
+            for t in thread_counts
+            for cf in config.CORE_FREQUENCIES_GHZ[::stride]
+            for ucf in config.UNCORE_FREQUENCIES_GHZ[::stride]
+        ]
+        measured = engine.evaluate_configurations(
+            app, points, regions=regions, run_key=("exhaustive",)
+        )
+        best: dict[str, OperatingPoint] = {}
+        for region in regions:
+            best_point, best_value = None, float("inf")
+            for point, ms in measured.items():
+                m = ms.get(region)
+                if m is None:
+                    continue
+                value = self.objective(m.node_energy_j, m.time_s)
+                if value < best_value:
+                    best_point, best_value = point, value
+            if best_point is None:
+                raise TuningError(f"region {region!r} never measured")
+            best[region] = best_point
+        return best, engine

@@ -1,0 +1,60 @@
+"""Tuning objectives.
+
+Energy is the paper's fundamental objective; EDP, ED2P and TCO are the
+future-work objectives (Section VI) — implemented here so the plugin can
+be pointed at any of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import TuningError
+
+
+@dataclass(frozen=True)
+class Objective:
+    """Scalarisation of (energy, time); lower is better."""
+
+    name: str
+    evaluate: Callable[[float, float], float]
+
+    def __call__(self, energy_j: float, time_s: float) -> float:
+        if energy_j < 0 or time_s < 0:
+            raise TuningError("objective inputs must be non-negative")
+        return self.evaluate(energy_j, time_s)
+
+
+#: Plain node energy (the paper's objective).
+ENERGY = Objective("energy", lambda e, t: e)
+#: Energy-delay product.
+EDP = Objective("edp", lambda e, t: e * t)
+#: Energy-delay-squared product.
+ED2P = Objective("ed2p", lambda e, t: e * t * t)
+
+
+def tco_objective(
+    *,
+    energy_price_per_joule: float,
+    machine_cost_per_second: float,
+) -> Objective:
+    """Total-cost-of-ownership objective: energy cost + machine time cost."""
+    if energy_price_per_joule < 0 or machine_cost_per_second < 0:
+        raise TuningError("TCO prices must be non-negative")
+    return Objective(
+        "tco",
+        lambda e, t: e * energy_price_per_joule + t * machine_cost_per_second,
+    )
+
+
+OBJECTIVES: dict[str, Objective] = {o.name: o for o in (ENERGY, EDP, ED2P)}
+
+
+def get_objective(name: str) -> Objective:
+    try:
+        return OBJECTIVES[name]
+    except KeyError:
+        raise TuningError(
+            f"unknown objective {name!r}; known: {sorted(OBJECTIVES)}"
+        ) from None

@@ -1,0 +1,70 @@
+"""PTF's generic Tuning Plugin Interface.
+
+PTF drives plugins through a fixed lifecycle [Miceli et al. 2013]:
+``initialize`` → (``create_scenarios`` → experiments) repeated per tuning
+step → ``get_optimum``.  The interface here captures that lifecycle
+abstractly so alternative plugins (the exhaustive baseline, future
+EDP-objective plugins) plug into the same framework driver.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.errors import TuningError
+from repro.execution.simulator import OperatingPoint
+from repro.hardware.cluster import Cluster
+from repro.readex.config_file import ReadexConfig
+from repro.workloads.application import Application
+
+
+@dataclass(frozen=True)
+class TuningParameter:
+    """One tunable knob with its discrete value domain."""
+
+    name: str
+    values: tuple
+
+    def __post_init__(self):
+        if not self.values:
+            raise TuningError(f"tuning parameter {self.name!r} has no values")
+        if len(set(self.values)) != len(self.values):
+            raise TuningError(f"tuning parameter {self.name!r} has duplicates")
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+@dataclass
+class TuningContext:
+    """Everything PTF hands a plugin at initialisation."""
+
+    app: Application
+    readex_config: ReadexConfig
+    cluster: Cluster
+    node_id: int = 0
+    objective_name: str = "energy"
+    extras: dict = field(default_factory=dict)
+
+
+class TuningPluginInterface(abc.ABC):
+    """Lifecycle contract for PTF tuning plugins."""
+
+    @abc.abstractmethod
+    def initialize(self, context: TuningContext) -> None:
+        """Receive the tuning context before any scenario is created."""
+
+    @abc.abstractmethod
+    def run_tuning_steps(self) -> None:
+        """Execute the plugin's tuning steps (scenario creation and
+        evaluation through the experiments engine)."""
+
+    @abc.abstractmethod
+    def get_optimum(self) -> dict[str, OperatingPoint]:
+        """Best found configuration per tuned region."""
+
+    @property
+    @abc.abstractmethod
+    def experiments_performed(self) -> int:
+        """Number of experiment evaluations consumed (tuning-time metric)."""

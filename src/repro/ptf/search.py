@@ -1,0 +1,110 @@
+"""Search spaces over tuning parameters.
+
+PTF's strength the paper leans on is managed search spaces: the plugin
+replaces the exhaustive CF x UCF product with a model prediction plus an
+*immediate neighborhood* verification (Section III-C).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from repro import config
+from repro.errors import TuningError
+from repro.ptf.plugin import TuningParameter
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """Cartesian product of tuning parameters."""
+
+    parameters: tuple[TuningParameter, ...]
+
+    def __post_init__(self):
+        if not self.parameters:
+            raise TuningError("search space needs at least one parameter")
+        names = [p.name for p in self.parameters]
+        if len(set(names)) != len(names):
+            raise TuningError("duplicate parameter names in search space")
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for p in self.parameters:
+            n *= len(p)
+        return n
+
+    def points(self) -> list[dict]:
+        """All combinations as name->value dicts (exhaustive enumeration)."""
+        names = [p.name for p in self.parameters]
+        return [
+            dict(zip(names, combo))
+            for combo in itertools.product(*(p.values for p in self.parameters))
+        ]
+
+
+def frequency_space() -> SearchSpace:
+    """The full CF x UCF space (what exhaustive search would visit)."""
+    return SearchSpace(
+        parameters=(
+            TuningParameter("core_freq_ghz", config.CORE_FREQUENCIES_GHZ),
+            TuningParameter("uncore_freq_ghz", config.UNCORE_FREQUENCIES_GHZ),
+        )
+    )
+
+
+def _neighbors(value: float, domain: tuple[float, ...]) -> tuple[float, ...]:
+    if value not in domain:
+        raise TuningError(f"{value} not in tuning domain")
+    i = domain.index(value)
+    lo = max(0, i - 1)
+    hi = min(len(domain), i + 2)
+    return domain[lo:hi]
+
+
+def neighborhood(
+    core_freq_ghz: float, uncore_freq_ghz: float
+) -> list[tuple[float, float]]:
+    """Immediate-neighbor configurations of a (CF, UCF) point.
+
+    Up to 3 x 3 = 9 combinations — the reduced search space the plugin
+    verifies per significant region (the "+9" in the tuning-time formula
+    of Section V-C).
+    """
+    cfs = _neighbors(core_freq_ghz, config.CORE_FREQUENCIES_GHZ)
+    ucfs = _neighbors(uncore_freq_ghz, config.UNCORE_FREQUENCIES_GHZ)
+    return [(cf, ucf) for cf in cfs for ucf in ucfs]
+
+
+def hill_climb(
+    start: tuple[float, float],
+    evaluate,
+    *,
+    max_steps: int = 3,
+) -> tuple[tuple[float, float], int]:
+    """Greedy neighborhood descent from ``start``.
+
+    Extension beyond the paper's single verification round: when the
+    measured best of a neighborhood lies on its rim, re-center and
+    verify again (up to ``max_steps`` rounds).  Each round costs at most
+    9 experiments, so the search stays far below exhaustive while
+    recovering from model argmin error larger than one step.
+
+    ``evaluate`` maps a list of (CF, UCF) points to a dict
+    point -> objective value (lower is better).  Returns the best point
+    found and the number of evaluated configurations.
+    """
+    if max_steps < 1:
+        raise TuningError("hill climb needs at least one step")
+    current = start
+    evaluated: dict[tuple[float, float], float] = {}
+    for _ in range(max_steps):
+        points = [p for p in neighborhood(*current) if p not in evaluated]
+        if points:
+            evaluated.update(evaluate(points))
+        best = min(evaluated, key=evaluated.get)
+        if best == current:
+            break
+        current = best
+    return current, len(evaluated)

@@ -1,0 +1,102 @@
+"""Static tuning baseline (Table V).
+
+The best *single* configuration for the whole application, found by
+exhaustively running the benchmark at every OpenMP thread count, core
+frequency and uncore frequency and selecting the minimum-energy run
+(Section V-D).  ``stride`` thins the frequency grids when an approximate
+answer is enough (tests); the benchmarks run the full grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import config
+from repro.errors import TuningError
+from repro.execution.simulator import ExecutionSimulator, OperatingPoint
+from repro.hardware.cluster import Cluster
+from repro.ptf.objectives import Objective, ENERGY
+from repro.workloads.application import Application
+
+
+@dataclass(frozen=True)
+class StaticTuningResult:
+    """Outcome of the exhaustive static search."""
+
+    app_name: str
+    best: OperatingPoint
+    best_energy_j: float
+    best_time_s: float
+    default_energy_j: float
+    default_time_s: float
+    configurations_tried: int
+
+    @property
+    def energy_saving(self) -> float:
+        """Fractional node-energy saving vs the platform default."""
+        return 1.0 - self.best_energy_j / self.default_energy_j
+
+
+def exhaustive_static_search(
+    app: Application,
+    cluster: Cluster,
+    *,
+    node_id: int = 0,
+    objective: Objective = ENERGY,
+    stride: int = 1,
+    thread_counts: tuple[int, ...] | None = None,
+) -> StaticTuningResult:
+    """Run the full static sweep and return the best configuration."""
+    if stride < 1:
+        raise TuningError("stride must be >= 1")
+    if thread_counts is None:
+        thread_counts = (
+            config.OPENMP_THREAD_CANDIDATES
+            if app.model.supports_thread_tuning
+            else (app.default_threads,)
+        )
+    cfs = config.CORE_FREQUENCIES_GHZ[::stride]
+    ucfs = config.UNCORE_FREQUENCIES_GHZ[::stride]
+    # Ensure the platform default is part of the sweep for the baseline.
+    default_point = OperatingPoint(
+        config.DEFAULT_CORE_FREQ_GHZ,
+        config.DEFAULT_UNCORE_FREQ_GHZ,
+        config.DEFAULT_OPENMP_THREADS,
+    )
+    best_point, best_value = None, float("inf")
+    best_energy = best_time = 0.0
+    default_energy = default_time = None
+    tried = 0
+    points = [
+        OperatingPoint(cf, ucf, t)
+        for t in thread_counts
+        for cf in cfs
+        for ucf in ucfs
+    ]
+    if default_point not in points:
+        points.append(default_point)
+    for point in points:
+        node = cluster.fresh_node(node_id)
+        node.set_frequencies(point.core_freq_ghz, point.uncore_freq_ghz)
+        run = ExecutionSimulator(node).run(
+            app,
+            threads=point.threads,
+            run_key=("static", point.core_freq_ghz, point.uncore_freq_ghz, point.threads),
+        )
+        tried += 1
+        value = objective(run.node_energy_j, run.time_s)
+        if value < best_value:
+            best_point, best_value = point, value
+            best_energy, best_time = run.node_energy_j, run.time_s
+        if point == default_point:
+            default_energy, default_time = run.node_energy_j, run.time_s
+    assert best_point is not None and default_energy is not None
+    return StaticTuningResult(
+        app_name=app.name,
+        best=best_point,
+        best_energy_j=best_energy,
+        best_time_s=best_time,
+        default_energy_j=default_energy,
+        default_time_s=default_time,
+        configurations_tried=tried,
+    )

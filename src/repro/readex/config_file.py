@@ -1,0 +1,86 @@
+"""READEX configuration file.
+
+Output of the pre-processing step (Section III-A): the list of
+significant regions plus the tuning-parameter bounds (OpenMP thread lower
+bound and step size) the plugin's first tuning step uses.  The real tool
+emits XML; we serialise the same content as JSON.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class ReadexConfig:
+    """The configuration consumed by the tuning plugin."""
+
+    app_name: str
+    phase_region: str
+    phase_iterations: int
+    significant_regions: tuple  # of SignificantRegion
+    thread_lower_bound: int = 12
+    thread_step: int = 4
+    threshold_s: float = 0.1
+
+    def __post_init__(self):
+        if self.thread_lower_bound <= 0 or self.thread_step <= 0:
+            raise WorkloadError("thread bounds must be positive")
+
+    @property
+    def significant_names(self) -> tuple[str, ...]:
+        return tuple(r.name for r in self.significant_regions)
+
+    def to_json(self) -> str:
+        from dataclasses import asdict
+
+        payload = {
+            "application": self.app_name,
+            "phase_region": self.phase_region,
+            "phase_iterations": self.phase_iterations,
+            "threshold_s": self.threshold_s,
+            "tuning_parameters": {
+                "openmp_threads": {
+                    "lower_bound": self.thread_lower_bound,
+                    "step": self.thread_step,
+                }
+            },
+            "significant_regions": [asdict(r) for r in self.significant_regions],
+        }
+        return json.dumps(payload, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ReadexConfig":
+        from repro.readex.dyn_detect import SignificantRegion
+
+        data = json.loads(text)
+        try:
+            regions = tuple(
+                SignificantRegion(**r) for r in data["significant_regions"]
+            )
+            return cls(
+                app_name=data["application"],
+                phase_region=data["phase_region"],
+                phase_iterations=data["phase_iterations"],
+                significant_regions=regions,
+                thread_lower_bound=data["tuning_parameters"]["openmp_threads"][
+                    "lower_bound"
+                ],
+                thread_step=data["tuning_parameters"]["openmp_threads"]["step"],
+                threshold_s=data["threshold_s"],
+            )
+        except KeyError as exc:
+            raise WorkloadError(f"malformed READEX config: missing {exc}") from None
+
+    def save(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json(), encoding="utf-8")
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ReadexConfig":
+        return cls.from_json(Path(path).read_text(encoding="utf-8"))

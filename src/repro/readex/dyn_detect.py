@@ -1,0 +1,74 @@
+"""``readex-dyn-detect``: significant-region identification.
+
+A region qualifies as *significant* if its mean execution time exceeds
+100 ms (Section III-A): energy measurement has ~5 ms latency and
+frequency switches have transition latencies, so only regions well above
+those scales can be tuned meaningfully.
+
+The tool consumes the call-tree profile of an instrumented run and
+produces the configuration file the tuning plugin starts from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import config
+from repro.errors import WorkloadError
+from repro.readex.config_file import ReadexConfig
+from repro.scorep.profile import CallTreeProfile
+from repro.workloads.application import Application
+from repro.workloads.region import RegionKind
+
+
+@dataclass(frozen=True)
+class SignificantRegion:
+    """One detected significant region."""
+
+    name: str
+    kind: str
+    mean_time_s: float
+    visits: int
+
+
+def readex_dyn_detect(
+    app: Application,
+    profile: CallTreeProfile,
+    *,
+    threshold_s: float = config.SIGNIFICANT_REGION_THRESHOLD_S,
+    thread_lower_bound: int = 12,
+    thread_step: int = 4,
+) -> ReadexConfig:
+    """Detect significant regions and emit the tuning configuration.
+
+    Candidates are the phase region's direct children (the granularity
+    the RRL can switch at); a candidate is significant when its mean
+    inclusive time per visit exceeds ``threshold_s``.
+    """
+    if threshold_s <= 0:
+        raise WorkloadError("significance threshold must be positive")
+    phase_node = profile.node(app.phase.name)
+    significant: list[SignificantRegion] = []
+    for child in app.phase.children:
+        try:
+            node = profile.node(child.name)
+        except Exception:
+            continue  # filtered from the profile entirely
+        if node.mean_time_s > threshold_s:
+            significant.append(
+                SignificantRegion(
+                    name=child.name,
+                    kind=child.kind.value,
+                    mean_time_s=node.mean_time_s,
+                    visits=node.visits,
+                )
+            )
+    return ReadexConfig(
+        app_name=app.name,
+        phase_region=app.phase.name,
+        phase_iterations=phase_node.visits,
+        significant_regions=tuple(significant),
+        thread_lower_bound=thread_lower_bound,
+        thread_step=thread_step,
+        threshold_s=threshold_s,
+    )

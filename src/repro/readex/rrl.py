@@ -1,0 +1,100 @@
+"""READEX Runtime Library (RRL): Runtime Application Tuning.
+
+The RRL is attached to the production run as a
+:class:`~repro.execution.simulator.RunController`: at each region enter
+it looks the region up in the tuning model and — when the region belongs
+to a scenario whose configuration differs from the current hardware state
+— switches core/uncore frequency and thread count through the PCPs.  At
+phase-region enter it applies the phase scenario (or the model default),
+so untuned stretches run at a well-defined configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import RRLError
+from repro.execution.simulator import OperatingPoint
+from repro.hardware.node import ComputeNode
+from repro.readex.pcp import CpuFreqPlugin, OpenMPTPlugin, UncoreFreqPlugin
+from repro.readex.tuning_model import TuningModel
+from repro.workloads.region import Region
+
+
+@dataclass
+class RRLStatistics:
+    """Switching statistics of one RAT run."""
+
+    region_enters: int = 0
+    scenario_hits: int = 0
+    frequency_switches: int = 0
+    thread_switches: int = 0
+    applied: dict[str, int] = field(default_factory=dict)
+
+
+class RRL:
+    """The runtime library; implements the RunController protocol."""
+
+    def __init__(self, tuning_model: TuningModel):
+        self.tuning_model = tuning_model
+        self.stats = RRLStatistics()
+        self._cpu_freq = CpuFreqPlugin()
+        self._uncore_freq = UncoreFreqPlugin()
+        self._openmp = OpenMPTPlugin()
+        self._current_threads: int | None = None
+
+    # -- RunController interface ------------------------------------------
+    def on_region_enter(self, region: Region, iteration: int, node: ComputeNode) -> int:
+        self.stats.region_enters += 1
+        configuration = self.tuning_model.configuration_for(region.name)
+        if configuration is None and region.name == self.tuning_model.phase_region:
+            configuration = self.tuning_model.default
+        if configuration is None:
+            return self._current_threads or 0
+        self.stats.scenario_hits += 1
+        self._apply(configuration, node)
+        self.stats.applied[region.name] = self.stats.applied.get(region.name, 0) + 1
+        return self._current_threads or 0
+
+    def on_region_exit(self, region: Region, iteration: int, node: ComputeNode) -> None:
+        return None  # switching happens on enters only
+
+    # ----------------------------------------------------------------------
+    def _apply(self, configuration: OperatingPoint, node: ComputeNode) -> None:
+        switched = False
+        if node.core_freq_ghz != configuration.core_freq_ghz:
+            self._cpu_freq.apply(node, configuration.core_freq_ghz)
+            switched = True
+        if node.uncore_freq_ghz != configuration.uncore_freq_ghz:
+            self._uncore_freq.apply(node, configuration.uncore_freq_ghz)
+            switched = True
+        if switched:
+            self.stats.frequency_switches += 1
+        if self._current_threads != configuration.threads:
+            self._openmp.apply(node, configuration.threads)
+            self._current_threads = configuration.threads
+            self.stats.thread_switches += 1
+
+
+class StaticController:
+    """Degenerate controller applying one configuration at run start.
+
+    Used for the static-tuning baseline: equivalent to setting frequencies
+    with ``x86_adapt`` before launching the (uninstrumented) job.
+    """
+
+    def __init__(self, configuration: OperatingPoint):
+        self.configuration = configuration
+        self._applied = False
+        self._cpu_freq = CpuFreqPlugin()
+        self._uncore_freq = UncoreFreqPlugin()
+
+    def on_region_enter(self, region: Region, iteration: int, node: ComputeNode) -> int:
+        if not self._applied:
+            self._cpu_freq.apply(node, self.configuration.core_freq_ghz)
+            self._uncore_freq.apply(node, self.configuration.uncore_freq_ghz)
+            self._applied = True
+        return self.configuration.threads
+
+    def on_region_exit(self, region: Region, iteration: int, node: ComputeNode) -> None:
+        return None

@@ -1,0 +1,50 @@
+"""System scenarios: grouping regions with equal best configurations.
+
+The System-Scenario methodology [Gheorghita et al. 2009] avoids
+dynamic-switching overhead by mapping regions that behave alike onto one
+*scenario* holding the shared best configuration (Section III-D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TuningModelError
+from repro.execution.simulator import OperatingPoint
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One scenario: a configuration and the regions mapped onto it."""
+
+    scenario_id: int
+    configuration: OperatingPoint
+    regions: tuple[str, ...]
+
+    def __post_init__(self):
+        if not self.regions:
+            raise TuningModelError("scenario must contain at least one region")
+
+
+def classify_scenarios(
+    best_configs: dict[str, OperatingPoint]
+) -> tuple[Scenario, ...]:
+    """Group regions by identical best configuration.
+
+    This is the plugin's classifier: each region maps onto exactly one
+    scenario; regions sharing a configuration share a scenario, so
+    switching between them at runtime is free.
+    """
+    if not best_configs:
+        raise TuningModelError("no best configurations to classify")
+    groups: dict[OperatingPoint, list[str]] = {}
+    for region, cfg in best_configs.items():
+        groups.setdefault(cfg, []).append(region)
+    scenarios = []
+    for i, (cfg, regions) in enumerate(
+        sorted(groups.items(), key=lambda kv: sorted(kv[1])[0])
+    ):
+        scenarios.append(
+            Scenario(scenario_id=i, configuration=cfg, regions=tuple(sorted(regions)))
+        )
+    return tuple(scenarios)

@@ -1,0 +1,44 @@
+"""Score-P-style measurement infrastructure.
+
+Models the measurement stack of Sections III-A and IV-A: compiler
+instrumentation with run-time/compile-time filtering
+(``scorep-autofilter``), call-tree profiles (CUBE4 role), chronological
+OTF2-style traces, and the metric-plugin interface with PAPI and HDEEM
+plugins.
+"""
+
+from repro.scorep.instrumentation import Instrumentation
+from repro.scorep.filtering import FilterFile, scorep_autofilter
+from repro.scorep.profile import CallTreeProfile, ProfileCollector, ProfileNode
+from repro.scorep.trace import (
+    EnterRecord,
+    LeaveRecord,
+    MetricRecord,
+    Trace,
+    TraceCollector,
+)
+from repro.scorep.otf2 import read_trace, write_trace
+from repro.scorep.metrics import MetricPlugin
+from repro.scorep.papi_plugin import PapiMetricPlugin
+from repro.scorep.hdeem_plugin import HdeemMetricPlugin
+from repro.scorep.macros import annotate_phase
+
+__all__ = [
+    "Instrumentation",
+    "FilterFile",
+    "scorep_autofilter",
+    "CallTreeProfile",
+    "ProfileCollector",
+    "ProfileNode",
+    "EnterRecord",
+    "LeaveRecord",
+    "MetricRecord",
+    "Trace",
+    "TraceCollector",
+    "read_trace",
+    "write_trace",
+    "MetricPlugin",
+    "PapiMetricPlugin",
+    "HdeemMetricPlugin",
+    "annotate_phase",
+]

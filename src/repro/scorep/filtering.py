@@ -1,0 +1,83 @@
+"""Run-time and compile-time filtering (``scorep-autofilter``).
+
+Filtering is the two-step process of Section III-A: executing the
+instrumented application with profiling enabled yields a call-tree
+profile; run-time filtering derives a *filter file* listing fine-granular
+regions below a threshold; the filter file then suppresses those regions'
+instrumentation at compile time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import InstrumentationError
+from repro.scorep.instrumentation import UNFILTERABLE_KINDS, Instrumentation
+from repro.scorep.profile import CallTreeProfile
+
+#: Default autofilter threshold: regions cheaper than this per visit are
+#: measurement noise and get filtered (the tool's -t option, seconds).
+DEFAULT_FILTER_THRESHOLD_S = 0.01
+
+
+@dataclass(frozen=True)
+class FilterFile:
+    """A Score-P filter file (``SCOREP_REGION_NAMES_BEGIN EXCLUDE ...``)."""
+
+    excluded: tuple[str, ...]
+
+    def render(self) -> str:
+        lines = ["SCOREP_REGION_NAMES_BEGIN", "  EXCLUDE"]
+        lines += [f"    {name}" for name in self.excluded]
+        lines.append("SCOREP_REGION_NAMES_END")
+        return "\n".join(lines)
+
+    @classmethod
+    def parse(cls, text: str) -> "FilterFile":
+        lines = [ln.strip() for ln in text.splitlines() if ln.strip()]
+        if (
+            not lines
+            or lines[0] != "SCOREP_REGION_NAMES_BEGIN"
+            or lines[-1] != "SCOREP_REGION_NAMES_END"
+        ):
+            raise InstrumentationError("malformed filter file")
+        body = lines[1:-1]
+        if not body or body[0] != "EXCLUDE":
+            raise InstrumentationError("filter file missing EXCLUDE block")
+        return cls(excluded=tuple(body[1:]))
+
+
+def scorep_autofilter(
+    profile: CallTreeProfile,
+    instrumentation: Instrumentation,
+    *,
+    threshold_s: float = DEFAULT_FILTER_THRESHOLD_S,
+) -> FilterFile:
+    """Generate a filter file from a profiling run (run-time filtering).
+
+    A region is excluded if its mean time per visit is below the
+    threshold and its probes are removable (plain function
+    instrumentation, not OPARI2/PMPI events).
+    """
+    if threshold_s <= 0:
+        raise InstrumentationError("filter threshold must be positive")
+    excluded = []
+    kinds_by_name = {
+        r.name: r.kind for r in instrumentation.app.main.walk()
+    }
+    for node in profile.root.walk():
+        kind = kinds_by_name.get(node.name)
+        if kind is None or kind in UNFILTERABLE_KINDS:
+            continue
+        if node.name == "main":
+            continue
+        if node.visits > 0 and node.mean_time_s < threshold_s:
+            excluded.append(node.name)
+    return FilterFile(excluded=tuple(sorted(set(excluded))))
+
+
+def apply_compile_time_filter(
+    instrumentation: Instrumentation, filter_file: FilterFile
+) -> Instrumentation:
+    """Rebuild the application with the filter applied (compile-time step)."""
+    return instrumentation.apply_filter(set(filter_file.excluded))

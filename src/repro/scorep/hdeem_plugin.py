@@ -1,0 +1,24 @@
+"""``scorep_hdeem_plugin``: node-energy metric via the Score-P plugin API.
+
+Adds the HDEEM node energy of each region instance to the trace, which
+is how the paper's traces carry energy values alongside PAPI counters.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.region import Region
+
+
+class HdeemMetricPlugin:
+    """Metric plugin exposing per-instance node energy and duration."""
+
+    ENERGY_KEY = "hdeem::node_energy_j"
+    TIME_KEY = "hdeem::time_s"
+
+    def extract(self, region: Region, metrics: dict[str, float]) -> dict[str, float]:
+        out: dict[str, float] = {}
+        if "node_energy_j" in metrics:
+            out[self.ENERGY_KEY] = metrics["node_energy_j"]
+        if "time_s" in metrics:
+            out[self.TIME_KEY] = metrics["time_s"]
+        return out

@@ -1,0 +1,72 @@
+"""Compiler instrumentation model.
+
+``scorep`` compiler instrumentation inserts probes into *every* program
+function; OpenMP constructs are instrumented through OPARI2 and MPI calls
+through the PMPI wrapper library.  Compile-time filtering can remove
+function probes entirely, but OPARI2/PMPI events remain — which is why
+the paper's overhead analysis (Section V-E) notes that Score-P overhead
+"is not completely removed due to instrumentation of OpenMP and MPI
+routines".
+
+:class:`Instrumentation` captures which regions currently carry probes;
+it is consumed by the execution simulator for overhead accounting and by
+the measurement listeners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import InstrumentationError
+from repro.workloads.application import Application
+from repro.workloads.region import Region, RegionKind
+
+#: Region kinds whose probes survive compile-time filtering.
+UNFILTERABLE_KINDS = frozenset({RegionKind.OMP_PARALLEL, RegionKind.MPI, RegionKind.PHASE})
+
+
+@dataclass
+class Instrumentation:
+    """Instrumentation state of one application build.
+
+    Parameters
+    ----------
+    app:
+        The application this build belongs to.
+    filtered:
+        Names of regions whose function probes were removed by
+        compile-time filtering.
+    """
+
+    app: Application
+    filtered: set[str] = field(default_factory=set)
+
+    @classmethod
+    def compiler_default(cls, app: Application) -> "Instrumentation":
+        """Fresh ``scorep``-instrumented build: every region has probes."""
+        return cls(app=app, filtered=set())
+
+    def is_instrumented(self, region: Region) -> bool:
+        """Whether this region currently fires enter/exit probes."""
+        if region.kind in UNFILTERABLE_KINDS:
+            return True
+        return region.name not in self.filtered
+
+    def apply_filter(self, region_names: set[str]) -> "Instrumentation":
+        """Rebuild with the given function regions filtered out.
+
+        Attempting to filter OpenMP/MPI/phase regions raises — their
+        probes do not come from compiler instrumentation.
+        """
+        for name in region_names:
+            region = self.app.main.find(name)
+            if region.kind in UNFILTERABLE_KINDS:
+                raise InstrumentationError(
+                    f"cannot compile-time filter {region.kind.value} region "
+                    f"{name!r}; only function instrumentation is removable"
+                )
+        return Instrumentation(app=self.app, filtered=self.filtered | region_names)
+
+    @property
+    def instrumented_regions(self) -> tuple[Region, ...]:
+        return tuple(r for r in self.app.main.walk() if self.is_instrumented(r))

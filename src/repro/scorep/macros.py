@@ -1,0 +1,34 @@
+"""Phase-region annotation (the Score-P user macros of Section III-A).
+
+On the real system the developer wraps one iteration of the main loop in
+``SCOREP_USER_OA_PHASE_BEGIN/END``.  Here the annotation verifies an
+application's phase region satisfies the macro contract: it exists, is
+unique, and is a single-entry/single-exit child of ``main``'s subtree.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InstrumentationError
+from repro.workloads.application import Application
+from repro.workloads.region import RegionKind
+
+
+def annotate_phase(app: Application) -> str:
+    """Validate the phase annotation; returns the phase region name.
+
+    Raises :class:`~repro.errors.InstrumentationError` when the phase
+    region would not satisfy the macro contract.
+    """
+    phases = [r for r in app.main.walk() if r.kind is RegionKind.PHASE]
+    if len(phases) != 1:
+        raise InstrumentationError(
+            f"{app.name}: exactly one phase region required, found {len(phases)}"
+        )
+    phase = phases[0]
+    if phase.calls_per_phase != 1:
+        raise InstrumentationError(
+            f"{app.name}: phase region must be single-entry/single-exit"
+        )
+    if not app.phase_iterations >= 1:
+        raise InstrumentationError(f"{app.name}: no main-loop iterations")
+    return phase.name

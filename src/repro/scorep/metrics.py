@@ -1,0 +1,26 @@
+"""Score-P metric-plugin interface.
+
+Metric plugins contribute named values to the metric records written at
+region exit.  The two plugins the paper uses are the PAPI plugin
+(built-in Score-P support for performance metrics) and
+``scorep_hdeem_plugin`` for energy.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.workloads.region import Region
+
+
+class MetricPlugin(Protocol):
+    """One metric source attached to a trace collector."""
+
+    def extract(self, region: Region, metrics: dict[str, float]) -> dict[str, float]:
+        """Select/transform this plugin's values from the raw PMU reading.
+
+        ``metrics`` is everything the measurement layer produced for the
+        region instance; the plugin returns only the key/value pairs it
+        owns (with its own namespace prefix).
+        """
+        ...

@@ -1,0 +1,77 @@
+"""Trace (de)serialization — the on-disk OTF2 role.
+
+Real OTF2 is a compressed binary archive; the defining property for the
+paper's pipeline is that the trace on disk is a chronologically ordered
+record stream a separate tool can parse.  We serialise to JSON-lines:
+one record per line, first line holds archive metadata.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import TraceError
+from repro.scorep.trace import EnterRecord, LeaveRecord, MetricRecord, Trace
+
+_FORMAT_VERSION = 2  # mirrors "Open Trace Format 2"
+
+
+def _encode(rec) -> dict:
+    if isinstance(rec, EnterRecord):
+        return {"t": rec.time_s, "e": "ENTER", "r": rec.region, "i": rec.iteration}
+    if isinstance(rec, LeaveRecord):
+        return {"t": rec.time_s, "e": "LEAVE", "r": rec.region, "i": rec.iteration}
+    if isinstance(rec, MetricRecord):
+        return {
+            "t": rec.time_s,
+            "e": "METRIC",
+            "r": rec.region,
+            "i": rec.iteration,
+            "v": rec.values,
+        }
+    raise TraceError(f"unknown record type: {type(rec).__name__}")
+
+
+def _decode(obj: dict):
+    kind = obj.get("e")
+    if kind == "ENTER":
+        return EnterRecord(time_s=obj["t"], region=obj["r"], iteration=obj["i"])
+    if kind == "LEAVE":
+        return LeaveRecord(time_s=obj["t"], region=obj["r"], iteration=obj["i"])
+    if kind == "METRIC":
+        return MetricRecord(
+            time_s=obj["t"], region=obj["r"], iteration=obj["i"], values=obj["v"]
+        )
+    raise TraceError(f"unknown record kind in trace file: {kind!r}")
+
+
+def write_trace(trace: Trace, path: str | Path) -> Path:
+    """Write ``trace`` to ``path`` in JSONL form; returns the path."""
+    trace.validate()
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        header = {"otf2_version": _FORMAT_VERSION, "app": trace.app_name}
+        fh.write(json.dumps(header) + "\n")
+        for rec in trace.records:
+            fh.write(json.dumps(_encode(rec)) + "\n")
+    return path
+
+
+def read_trace(path: str | Path) -> Trace:
+    """Read a trace written by :func:`write_trace`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as fh:
+        lines = fh.read().splitlines()
+    if not lines:
+        raise TraceError(f"empty trace file: {path}")
+    header = json.loads(lines[0])
+    if header.get("otf2_version") != _FORMAT_VERSION:
+        raise TraceError(
+            f"unsupported trace version: {header.get('otf2_version')!r}"
+        )
+    trace = Trace(app_name=header["app"])
+    for line in lines[1:]:
+        trace.records.append(_decode(json.loads(line)))
+    trace.validate()
+    return trace

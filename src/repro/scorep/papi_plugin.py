@@ -1,0 +1,35 @@
+"""Score-P PAPI metric support.
+
+Each measurement run can record at most
+:data:`repro.config.PAPI_MAX_SIMULTANEOUS_EVENTS` preset events (the
+PMU's programmable-counter limit), so the plugin is programmed with one
+multiplex group per run; the data-acquisition layer runs the application
+once per group and averages.
+"""
+
+from __future__ import annotations
+
+from repro.counters.eventset import EventSet
+from repro.counters.papi import preset
+from repro.workloads.region import Region
+
+
+class PapiMetricPlugin:
+    """Metric plugin exposing one run's programmed PAPI events."""
+
+    def __init__(self, event_names: tuple[str, ...] | list[str]):
+        self._event_set = EventSet()
+        for name in event_names:
+            self._event_set.add_event(name)
+
+    @property
+    def events(self) -> tuple[str, ...]:
+        return self._event_set.events
+
+    def extract(self, region: Region, metrics: dict[str, float]) -> dict[str, float]:
+        """Pick the programmed counters out of the full PMU reading."""
+        out = {}
+        for name in self._event_set.events:
+            if name in metrics:
+                out[f"papi::{preset(name).short_name}"] = metrics[name]
+        return out

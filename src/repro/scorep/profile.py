@@ -1,0 +1,121 @@
+"""Call-tree profiles (the CUBE4 role in the paper's workflow).
+
+Executing the instrumented application with profiling enabled produces a
+call-tree profile; ``scorep-autofilter`` consumes it to decide which
+fine-granular regions to filter, and ``readex-dyn-detect`` consumes it to
+find significant regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import InstrumentationError
+from repro.workloads.region import Region
+
+
+@dataclass
+class ProfileNode:
+    """Aggregated measurements of one region across all its instances."""
+
+    name: str
+    kind: str
+    visits: int = 0
+    inclusive_time_s: float = 0.0
+    children: dict[str, "ProfileNode"] = field(default_factory=dict)
+
+    @property
+    def mean_time_s(self) -> float:
+        """Mean inclusive time per visit — the dyn-detect criterion."""
+        return self.inclusive_time_s / self.visits if self.visits else 0.0
+
+    def child(self, name: str, kind: str) -> "ProfileNode":
+        if name not in self.children:
+            self.children[name] = ProfileNode(name=name, kind=kind)
+        return self.children[name]
+
+    def walk(self):
+        yield self
+        for child in self.children.values():
+            yield from child.walk()
+
+
+@dataclass
+class CallTreeProfile:
+    """A complete application profile (CUBE4-equivalent)."""
+
+    app_name: str
+    root: ProfileNode
+
+    def node(self, name: str) -> ProfileNode:
+        for n in self.root.walk():
+            if n.name == name:
+                return n
+        raise InstrumentationError(f"region {name!r} not in profile")
+
+    def region_names(self) -> tuple[str, ...]:
+        return tuple(n.name for n in self.root.walk())
+
+    def to_dict(self) -> dict:
+        def conv(node: ProfileNode) -> dict:
+            return {
+                "name": node.name,
+                "kind": node.kind,
+                "visits": node.visits,
+                "inclusive_time_s": node.inclusive_time_s,
+                "children": [conv(c) for c in node.children.values()],
+            }
+
+        return {"app": self.app_name, "calltree": conv(self.root)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CallTreeProfile":
+        def conv(d: dict) -> ProfileNode:
+            node = ProfileNode(
+                name=d["name"],
+                kind=d["kind"],
+                visits=d["visits"],
+                inclusive_time_s=d["inclusive_time_s"],
+            )
+            for c in d["children"]:
+                node.children[c["name"]] = conv(c)
+            return node
+
+        return cls(app_name=data["app"], root=conv(data["calltree"]))
+
+
+class ProfileCollector:
+    """Run listener that accumulates a call-tree profile."""
+
+    def __init__(self, app_name: str):
+        self._root = ProfileNode(name="main", kind="function")
+        self._stack: list[ProfileNode] = [self._root]
+        self._enter_times: list[float] = []
+        self._app_name = app_name
+
+    # -- RunListener interface ------------------------------------------
+    def on_enter(self, region: Region, iteration: int, time_s: float) -> None:
+        node = self._stack[-1].child(region.name, region.kind.value)
+        self._stack.append(node)
+        self._enter_times.append(time_s)
+
+    def on_exit(
+        self, region: Region, iteration: int, time_s: float, metrics: dict
+    ) -> None:
+        if len(self._stack) <= 1:
+            raise InstrumentationError("profile exit without matching enter")
+        node = self._stack.pop()
+        if node.name != region.name:
+            raise InstrumentationError(
+                f"unbalanced profile events: exited {region.name!r} "
+                f"but top of stack is {node.name!r}"
+            )
+        enter = self._enter_times.pop()
+        node.visits += 1
+        node.inclusive_time_s += time_s - enter
+
+    # --------------------------------------------------------------------
+    def profile(self) -> CallTreeProfile:
+        if len(self._stack) != 1:
+            raise InstrumentationError("profile still has open regions")
+        return CallTreeProfile(app_name=self._app_name, root=self._root)

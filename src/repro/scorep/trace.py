@@ -1,0 +1,143 @@
+"""OTF2-style event traces.
+
+An application trace is a chronologically ordered sequence of records:
+region enter, region leave, and metric records attached at enter/exit
+(Section IV-A: "performance metrics and energy values are recorded only
+at entry and exit of a region").  The custom post-processing tool of the
+paper (:mod:`repro.tools.otf2_parser`) consumes these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TraceError
+from repro.workloads.region import Region
+
+
+@dataclass(frozen=True)
+class EnterRecord:
+    """Region-enter event."""
+
+    time_s: float
+    region: str
+    iteration: int
+
+
+@dataclass(frozen=True)
+class LeaveRecord:
+    """Region-leave event."""
+
+    time_s: float
+    region: str
+    iteration: int
+
+
+@dataclass(frozen=True)
+class MetricRecord:
+    """Metric sample attached to the enclosing location at ``time_s``."""
+
+    time_s: float
+    region: str
+    iteration: int
+    values: dict[str, float]
+
+    def __post_init__(self):
+        # freeze a copy so records are safe to share
+        object.__setattr__(self, "values", dict(self.values))
+
+
+TraceRecord = EnterRecord | LeaveRecord | MetricRecord
+
+
+@dataclass
+class Trace:
+    """A complete application trace."""
+
+    app_name: str
+    records: list[TraceRecord] = field(default_factory=list)
+
+    def validate(self) -> None:
+        """Check chronological ordering and balanced enter/leave nesting."""
+        last_t = float("-inf")
+        stack: list[str] = []
+        for rec in self.records:
+            if rec.time_s < last_t:
+                raise TraceError(
+                    f"records out of chronological order at t={rec.time_s}"
+                )
+            last_t = rec.time_s
+            if isinstance(rec, EnterRecord):
+                stack.append(rec.region)
+            elif isinstance(rec, LeaveRecord):
+                if not stack or stack[-1] != rec.region:
+                    raise TraceError(
+                        f"unbalanced leave for region {rec.region!r}"
+                    )
+                stack.pop()
+        if stack:
+            raise TraceError(f"trace ends with open regions: {stack}")
+
+    def enters(self, region: str | None = None) -> list[EnterRecord]:
+        return [
+            r
+            for r in self.records
+            if isinstance(r, EnterRecord) and (region is None or r.region == region)
+        ]
+
+    def leaves(self, region: str | None = None) -> list[LeaveRecord]:
+        return [
+            r
+            for r in self.records
+            if isinstance(r, LeaveRecord) and (region is None or r.region == region)
+        ]
+
+    def metrics(self, region: str | None = None) -> list[MetricRecord]:
+        return [
+            r
+            for r in self.records
+            if isinstance(r, MetricRecord) and (region is None or r.region == region)
+        ]
+
+
+class TraceCollector:
+    """Run listener that records an OTF2-style trace.
+
+    Metric plugins registered with the collector contribute values to the
+    metric records written at region exit — the Score-P metric-plugin
+    interface.
+    """
+
+    def __init__(self, app_name: str, metric_plugins: tuple = ()):
+        self._trace = Trace(app_name=app_name)
+        self._plugins = tuple(metric_plugins)
+
+    # -- RunListener interface ------------------------------------------
+    def on_enter(self, region: Region, iteration: int, time_s: float) -> None:
+        self._trace.records.append(
+            EnterRecord(time_s=time_s, region=region.name, iteration=iteration)
+        )
+
+    def on_exit(
+        self, region: Region, iteration: int, time_s: float, metrics: dict
+    ) -> None:
+        values: dict[str, float] = {}
+        for plugin in self._plugins:
+            values.update(plugin.extract(region, metrics))
+        if values:
+            self._trace.records.append(
+                MetricRecord(
+                    time_s=time_s,
+                    region=region.name,
+                    iteration=iteration,
+                    values=values,
+                )
+            )
+        self._trace.records.append(
+            LeaveRecord(time_s=time_s, region=region.name, iteration=iteration)
+        )
+
+    # --------------------------------------------------------------------
+    def trace(self) -> Trace:
+        self._trace.validate()
+        return self._trace

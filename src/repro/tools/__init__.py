@@ -1,0 +1,20 @@
+"""Command-line tools mirroring the paper's tooling.
+
+* :mod:`repro.tools.otf2_parser` — the custom OTF2 post-processing tool
+  of Section IV-A (energy per run, PAPI per phase instance);
+* :mod:`repro.tools.measure_rapl` — the lightweight RAPL CPU-energy
+  meter of Section V-D;
+* :mod:`repro.tools.sacct` — job accounting queries;
+* :mod:`repro.tools.cli` — console entry points.
+"""
+
+from repro.tools.otf2_parser import Otf2Report, parse_trace
+from repro.tools.measure_rapl import measure_rapl
+from repro.tools.sacct import format_sacct_output
+
+__all__ = [
+    "Otf2Report",
+    "parse_trace",
+    "measure_rapl",
+    "format_sacct_output",
+]

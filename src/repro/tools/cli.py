@@ -1,0 +1,179 @@
+"""Console entry points (installed by ``pip install``).
+
+================  =========================================================
+``repro-dyn-detect``    significant-region detection for a benchmark
+``repro-tune``          full DTA: train/load model, tune, write the TMM
+``repro-sacct``         run a benchmark as a job and query its accounting
+``repro-measure-rapl``  run a benchmark and report CPU energy via RAPL
+``repro-otf2-parser``   post-process a trace file (energy + phase PAPI)
+================  =========================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import config
+from repro.execution.simulator import ExecutionSimulator
+from repro.execution.slurm import SlurmAccounting
+from repro.hardware.cluster import Cluster
+from repro.workloads import registry
+
+
+def _benchmark_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "benchmark",
+        choices=registry.benchmark_names(),
+        help="benchmark to operate on",
+    )
+
+
+def main_dyn_detect(argv: list[str] | None = None) -> int:
+    """``repro-dyn-detect BENCH [-o config.json]``"""
+    parser = argparse.ArgumentParser(
+        prog="repro-dyn-detect",
+        description="Detect significant regions (>100 ms mean) of a benchmark.",
+    )
+    _benchmark_arg(parser)
+    parser.add_argument("-o", "--output", help="write the READEX config JSON here")
+    args = parser.parse_args(argv)
+
+    from repro.readex.dyn_detect import readex_dyn_detect
+    from repro.scorep.profile import ProfileCollector
+
+    app = registry.build(args.benchmark)
+    cluster = Cluster(2)
+    node = cluster.fresh_node(0)
+    node.set_frequencies(
+        config.CALIBRATION_CORE_FREQ_GHZ, config.CALIBRATION_UNCORE_FREQ_GHZ
+    )
+    collector = ProfileCollector(app.name)
+    ExecutionSimulator(node).run(app, listeners=(collector,))
+    readex_config = readex_dyn_detect(app, collector.profile())
+    if args.output:
+        readex_config.save(args.output)
+        print(f"wrote {args.output}")
+    for region in readex_config.significant_regions:
+        print(f"{region.name:40s} mean {region.mean_time_s * 1000:8.1f} ms")
+    return 0
+
+
+def main_tune(argv: list[str] | None = None) -> int:
+    """``repro-tune BENCH [-o tmm.json] [--epochs N]``"""
+    parser = argparse.ArgumentParser(
+        prog="repro-tune",
+        description="Run the full design-time analysis and emit a tuning model.",
+    )
+    _benchmark_arg(parser)
+    parser.add_argument("-o", "--output", default="tuning_model.json")
+    parser.add_argument("--epochs", type=int, default=10)
+    parser.add_argument(
+        "--train-threads",
+        type=int,
+        nargs="+",
+        default=[12, 24],
+        help="thread counts for training-data acquisition (fewer = faster)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.modeling.dataset import build_dataset
+    from repro.modeling.training import TrainingConfig, train_network
+    from repro.ptf.framework import PeriscopeTuningFramework
+
+    train_names = [b for b in registry.training_benchmarks()]
+    print(f"building training data on {len(train_names)} benchmarks ...")
+    dataset = build_dataset(train_names, thread_counts=tuple(args.train_threads))
+    model = train_network(
+        dataset.features,
+        dataset.targets,
+        config=TrainingConfig(epochs=args.epochs),
+    )
+    print(f"training done ({dataset.features.shape[0]} samples)")
+    framework = PeriscopeTuningFramework(Cluster(4), model)
+    outcome = framework.tune(args.benchmark)
+    outcome.tuning_model.save(args.output)
+    result = outcome.plugin_result
+    print(f"phase optimum: {result.phase_configuration}")
+    for region, cfg in result.region_configurations.items():
+        print(f"  {region:40s} {cfg}")
+    print(f"tuning model with {len(outcome.tuning_model.scenarios)} scenarios "
+          f"written to {args.output}")
+    return 0
+
+
+def main_sacct(argv: list[str] | None = None) -> int:
+    """``repro-sacct BENCH [--format FIELDS]``"""
+    parser = argparse.ArgumentParser(
+        prog="repro-sacct",
+        description="Run a benchmark as a job and print sacct accounting.",
+    )
+    _benchmark_arg(parser)
+    parser.add_argument(
+        "--format",
+        dest="fmt",
+        default="JobID,JobName,Elapsed,ConsumedEnergy",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.tools.sacct import format_sacct_output
+
+    cluster = Cluster(2)
+    run = ExecutionSimulator(cluster.fresh_node(0)).run(
+        registry.build(args.benchmark)
+    )
+    accounting = SlurmAccounting()
+    accounting.submit(run)
+    print(format_sacct_output(accounting, fmt=args.fmt))
+    return 0
+
+
+def main_measure_rapl(argv: list[str] | None = None) -> int:
+    """``repro-measure-rapl BENCH [--cf GHz --ucf GHz --threads N]``"""
+    parser = argparse.ArgumentParser(
+        prog="repro-measure-rapl",
+        description="Run a benchmark and report CPU energy via RAPL.",
+    )
+    _benchmark_arg(parser)
+    parser.add_argument("--cf", type=float, default=config.DEFAULT_CORE_FREQ_GHZ)
+    parser.add_argument("--ucf", type=float, default=config.DEFAULT_UNCORE_FREQ_GHZ)
+    parser.add_argument("--threads", type=int, default=config.DEFAULT_OPENMP_THREADS)
+    args = parser.parse_args(argv)
+
+    from repro.tools.measure_rapl import measure_rapl
+
+    node = Cluster(2).fresh_node(0)
+    node.set_frequencies(args.cf, args.ucf)
+    with measure_rapl(node) as measurement:
+        ExecutionSimulator(node).run(
+            registry.build(args.benchmark), threads=args.threads
+        )
+    print(f"CPU energy: {measurement.cpu_energy_j:.1f} J "
+          f"over {measurement.elapsed_s:.2f} s "
+          f"({measurement.mean_cpu_power_w:.1f} W)")
+    return 0
+
+
+def main_otf2_parser(argv: list[str] | None = None) -> int:
+    """``repro-otf2-parser TRACE_FILE``"""
+    parser = argparse.ArgumentParser(
+        prog="repro-otf2-parser",
+        description="Post-process an OTF2 trace: run energy + phase PAPI values.",
+    )
+    parser.add_argument("trace", help="trace file written by repro (JSONL)")
+    args = parser.parse_args(argv)
+
+    from repro.tools.otf2_parser import parse_trace
+
+    report = parse_trace(args.trace)
+    print(f"application: {report.app_name}")
+    print(f"total energy: {report.total_energy_j:.1f} J")
+    print(f"phase instances: {report.num_phase_instances}")
+    for inst in report.phase_instances[:3]:
+        printable = {k.removeprefix("papi::"): f"{v:.3g}" for k, v in inst.papi.items()}
+        print(f"  iteration {inst.iteration}: {printable}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main_tune())

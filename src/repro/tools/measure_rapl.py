@@ -1,0 +1,47 @@
+"""``measure-rapl``: lightweight CPU-energy measurement (Section V-D).
+
+The paper's tool wraps an application run and reads the CPU energy via
+Intel's RAPL interface through x86_adapt.  Here it is a context manager
+over a :class:`~repro.hardware.node.ComputeNode`'s RAPL reader.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+
+from repro.hardware.node import ComputeNode
+
+
+@dataclass
+class RaplMeasurement:
+    """Filled in when the context exits."""
+
+    cpu_energy_j: float = 0.0
+    elapsed_s: float = 0.0
+
+    @property
+    def mean_cpu_power_w(self) -> float:
+        return self.cpu_energy_j / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+
+@contextlib.contextmanager
+def measure_rapl(node: ComputeNode):
+    """Measure CPU (package + DRAM) energy of everything run inside.
+
+    Usage::
+
+        with measure_rapl(node) as m:
+            simulator.run(app)
+        print(m.cpu_energy_j)
+    """
+    measurement = RaplMeasurement()
+    start_energy = node.rapl.read_cpu_energy_joules()
+    start_time = node.now_s
+    try:
+        yield measurement
+    finally:
+        measurement.cpu_energy_j = (
+            node.rapl.read_cpu_energy_joules() - start_energy
+        )
+        measurement.elapsed_s = node.now_s - start_time

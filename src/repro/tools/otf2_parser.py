@@ -1,0 +1,84 @@
+"""Custom OTF2 post-processing tool (Section IV-A).
+
+"Our tool reports energy values for the entire application run, while
+PAPI values are reported individually for instances of the phase
+region."  The parser walks the chronological record stream once,
+accumulating the HDEEM energy metric over all records and collecting the
+PAPI metric values attached to each phase-region instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import TraceError
+from repro.scorep.hdeem_plugin import HdeemMetricPlugin
+from repro.scorep.otf2 import read_trace
+from repro.scorep.trace import MetricRecord, Trace
+
+
+@dataclass
+class PhaseInstance:
+    """PAPI values of one phase-region instance."""
+
+    iteration: int
+    time_s: float
+    papi: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class Otf2Report:
+    """Parser output: whole-run energy + per-phase-instance PAPI values."""
+
+    app_name: str
+    total_energy_j: float
+    phase_instances: list[PhaseInstance]
+
+    @property
+    def num_phase_instances(self) -> int:
+        return len(self.phase_instances)
+
+    def mean_papi(self, counter: str) -> float:
+        """Mean of one counter over all phase instances."""
+        key = counter if counter.startswith("papi::") else f"papi::{counter}"
+        values = [
+            inst.papi[key] for inst in self.phase_instances if key in inst.papi
+        ]
+        if not values:
+            raise TraceError(f"counter {counter!r} not present in trace")
+        return sum(values) / len(values)
+
+
+def parse_trace(
+    trace: Trace | str | Path, *, phase_region: str = "phase"
+) -> Otf2Report:
+    """Post-process a trace (object or file path)."""
+    if not isinstance(trace, Trace):
+        trace = read_trace(trace)
+    trace.validate()
+    total_energy = 0.0
+    phase_instances: list[PhaseInstance] = []
+    for record in trace.records:
+        if not isinstance(record, MetricRecord):
+            continue
+        if record.region == phase_region:
+            # Regions nest and each metric record carries the inclusive
+            # energy of its instance, so summing the phase instances (and
+            # only those) counts every joule exactly once.
+            total_energy += record.values.get(HdeemMetricPlugin.ENERGY_KEY, 0.0)
+            papi = {
+                k: v for k, v in record.values.items() if k.startswith("papi::")
+            }
+            phase_instances.append(
+                PhaseInstance(
+                    iteration=record.iteration,
+                    time_s=record.values.get(HdeemMetricPlugin.TIME_KEY, 0.0),
+                    papi=papi,
+                )
+            )
+    return Otf2Report(
+        app_name=trace.app_name,
+        total_energy_j=total_energy,
+        phase_instances=phase_instances,
+    )

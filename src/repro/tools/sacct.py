@@ -1,0 +1,42 @@
+"""``sacct``-style output formatting (Section V-D).
+
+The library-side query lives in
+:class:`~repro.execution.slurm.SlurmAccounting`; this module renders the
+results the way ``sacct --format=...`` prints them.
+"""
+
+from __future__ import annotations
+
+from repro.execution.slurm import SlurmAccounting
+
+
+def format_sacct_output(
+    accounting: SlurmAccounting,
+    *,
+    job_id: int | None = None,
+    fmt: str = "JobID,JobName,Elapsed,ConsumedEnergy",
+) -> str:
+    """Render an ``sacct`` query as the familiar fixed-width table."""
+    rows = accounting.sacct(job_id=job_id, fmt=fmt)
+    fields = [f.strip() for f in fmt.split(",") if f.strip()]
+    str_rows = []
+    for row in rows:
+        cells = []
+        for f in fields:
+            v = row[f]
+            if isinstance(v, float):
+                cells.append(f"{v:.2f}")
+            else:
+                cells.append(str(v))
+        str_rows.append(cells)
+    widths = [
+        max(len(f), *(len(r[i]) for r in str_rows)) if str_rows else len(f)
+        for i, f in enumerate(fields)
+    ]
+    lines = [
+        " ".join(f.rjust(w) for f, w in zip(fields, widths)),
+        " ".join("-" * w for w in widths),
+    ]
+    for r in str_rows:
+        lines.append(" ".join(c.rjust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)

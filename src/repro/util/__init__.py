@@ -1,0 +1,14 @@
+"""Shared utilities: seeded RNG streams, validation helpers, text tables."""
+
+from repro.util.rng import rng_for, stable_hash
+from repro.util.validation import check_positive, check_in_range, check_fraction
+from repro.util.tables import render_table
+
+__all__ = [
+    "rng_for",
+    "stable_hash",
+    "check_positive",
+    "check_in_range",
+    "check_fraction",
+    "render_table",
+]

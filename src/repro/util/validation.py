@@ -1,0 +1,24 @@
+"""Small argument-validation helpers used across the package."""
+
+from __future__ import annotations
+
+
+def check_positive(name: str, value: float, *, strict: bool = True) -> float:
+    """Validate that ``value`` is positive (or non-negative if not strict)."""
+    if strict and not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    if not strict and not value >= 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_in_range(name: str, value: float, lo: float, hi: float) -> float:
+    """Validate that ``lo <= value <= hi``."""
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+    return value
+
+
+def check_fraction(name: str, value: float) -> float:
+    """Validate that ``value`` lies in the closed unit interval."""
+    return check_in_range(name, value, 0.0, 1.0)

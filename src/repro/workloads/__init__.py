@@ -1,0 +1,21 @@
+"""Workload models: characteristics, region trees, the Table II roster."""
+
+from repro.workloads.characteristics import WorkloadCharacteristics, CACHE_LINE_BYTES
+from repro.workloads.region import Region, RegionKind, phase_region
+from repro.workloads.application import Application, BenchmarkInfo, ProgrammingModel
+from repro.workloads import registry
+from repro.workloads.generator import random_application, random_characteristics
+
+__all__ = [
+    "WorkloadCharacteristics",
+    "CACHE_LINE_BYTES",
+    "Region",
+    "RegionKind",
+    "phase_region",
+    "Application",
+    "BenchmarkInfo",
+    "ProgrammingModel",
+    "registry",
+    "random_application",
+    "random_characteristics",
+]

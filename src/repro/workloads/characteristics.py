@@ -1,0 +1,147 @@
+"""Workload characteristics: the application-side ground truth.
+
+A region of an application is described by its *characteristics* — total
+dynamic instruction count, instruction mix, cache-miss rates, achievable
+IPC, parallel fraction and compute/memory overlap.  Everything else is
+derived: PAPI counter values (:mod:`repro.counters.generation`), region
+run time under any (CF, UCF, threads) operating point
+(:mod:`repro.execution.timing`) and therefore energy.
+
+The characteristics are *frequency independent* by construction, matching
+the paper's observation (Section IV-B) that the selected counters depend
+only on the application, which is what allows measuring them once at the
+calibration frequencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.util.validation import check_fraction, check_positive
+
+#: Bytes moved per last-level-cache miss (one cache line).
+CACHE_LINE_BYTES = 64
+
+
+@dataclass(frozen=True)
+class WorkloadCharacteristics:
+    """Per-region-instance workload description.
+
+    All "count" quantities are totals over one execution of the region
+    (all threads combined), so they do not change with the thread count —
+    only how fast they are processed does.
+    """
+
+    #: Total dynamic instructions retired per region instance.
+    instructions: float
+    #: Retire IPC of the compute portion (excluding memory stalls), per core.
+    ipc: float = 1.6
+
+    # -- instruction mix -------------------------------------------------
+    load_frac: float = 0.25
+    store_frac: float = 0.10
+    cond_branch_frac: float = 0.12
+    uncond_branch_frac: float = 0.02
+    branch_taken_frac: float = 0.60
+    branch_misp_rate: float = 0.02
+    flop_frac: float = 0.20
+    sp_fraction: float = 0.0
+    vector_frac: float = 0.5
+
+    # -- cache behaviour --------------------------------------------------
+    l1d_miss_rate: float = 0.05   #: misses per data access
+    l2d_miss_rate: float = 0.30   #: misses per L1D miss
+    l3d_miss_rate: float = 0.30   #: misses per L2D miss
+    l1i_miss_rate: float = 0.002  #: misses per instruction
+    l2i_miss_rate: float = 0.15   #: misses per L1I miss
+    tlb_dm_rate: float = 5e-4     #: per data access
+    tlb_im_rate: float = 2e-5     #: per instruction
+    writeback_frac: float = 0.30  #: extra DRAM traffic for dirty evictions
+    prefetch_frac: float = 0.20   #: prefetch misses relative to demand misses
+    stall_penalty_cycles: float = 150.0  #: effective cycles per L3 miss
+
+    # -- parallel behaviour ------------------------------------------------
+    parallel_fraction: float = 0.99   #: Amdahl parallel fraction
+    thread_overhead: float = 0.0012   #: per-extra-thread serialization
+    overlap: float = 0.85             #: compute/memory overlap [0, 1]
+
+    def __post_init__(self) -> None:
+        check_positive("instructions", self.instructions)
+        check_positive("ipc", self.ipc)
+        for name in (
+            "load_frac", "store_frac", "cond_branch_frac", "uncond_branch_frac",
+            "branch_taken_frac", "branch_misp_rate", "flop_frac", "sp_fraction",
+            "vector_frac", "l1d_miss_rate", "l2d_miss_rate", "l3d_miss_rate",
+            "l1i_miss_rate", "l2i_miss_rate", "tlb_dm_rate", "tlb_im_rate",
+            "writeback_frac", "prefetch_frac", "parallel_fraction", "overlap",
+        ):
+            check_fraction(name, getattr(self, name))
+        mix = (
+            self.load_frac + self.store_frac + self.cond_branch_frac
+            + self.uncond_branch_frac
+        )
+        if mix > 1.0 + 1e-9:
+            raise ValueError(f"instruction mix fractions sum to {mix} > 1")
+        check_positive("stall_penalty_cycles", self.stall_penalty_cycles)
+        check_positive("thread_overhead", self.thread_overhead, strict=False)
+
+    # -- derived cache/memory quantities ------------------------------------
+    @property
+    def data_accesses(self) -> float:
+        return self.instructions * (self.load_frac + self.store_frac)
+
+    @property
+    def load_share(self) -> float:
+        total = self.load_frac + self.store_frac
+        return self.load_frac / total if total > 0 else 0.0
+
+    @property
+    def l1d_misses(self) -> float:
+        return self.data_accesses * self.l1d_miss_rate
+
+    @property
+    def l2d_misses(self) -> float:
+        return self.l1d_misses * self.l2d_miss_rate
+
+    @property
+    def l3d_misses(self) -> float:
+        return self.l2d_misses * self.l3d_miss_rate
+
+    @property
+    def l1i_misses(self) -> float:
+        return self.instructions * self.l1i_miss_rate
+
+    @property
+    def l2i_misses(self) -> float:
+        return self.l1i_misses * self.l2i_miss_rate
+
+    @property
+    def memory_bytes(self) -> float:
+        """DRAM traffic per region instance (demand + prefetch + writeback)."""
+        demand_lines = self.l3d_misses * (1.0 + self.prefetch_frac)
+        return demand_lines * (1.0 + self.writeback_frac) * CACHE_LINE_BYTES
+
+    @property
+    def compute_cycles(self) -> float:
+        """Core cycles needed by the compute portion (single-thread total)."""
+        return self.instructions / self.ipc
+
+    @property
+    def stall_cycles(self) -> float:
+        """Resource-stall cycles attributable to memory (``RES_STL`` source)."""
+        return self.l3d_misses * self.stall_penalty_cycles
+
+    @property
+    def memory_intensity(self) -> float:
+        """DRAM bytes per instruction — the compute/memory-boundedness knob."""
+        return self.memory_bytes / self.instructions
+
+    # -- helpers -------------------------------------------------------------
+    def scaled(self, factor: float) -> "WorkloadCharacteristics":
+        """Same behaviour, ``factor``-times the work (used to split regions)."""
+        check_positive("factor", factor)
+        return replace(self, instructions=self.instructions * factor)
+
+    def with_(self, **kwargs) -> "WorkloadCharacteristics":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)

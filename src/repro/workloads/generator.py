@@ -1,0 +1,75 @@
+"""Synthetic workload generator.
+
+Produces random-but-reproducible applications for training-set
+augmentation and property-based testing: every generated region has
+characteristics inside the envelope spanned by the real suite profiles,
+so anything the test suite asserts about the 19 benchmarks should hold
+for generated workloads too.
+"""
+
+from __future__ import annotations
+
+from repro import config
+from repro.util.rng import rng_for
+from repro.workloads.application import Application, ProgrammingModel
+from repro.workloads.characteristics import WorkloadCharacteristics
+from repro.workloads.region import Region, RegionKind, phase_region
+
+
+def random_characteristics(
+    rng, *, instructions: float | None = None
+) -> WorkloadCharacteristics:
+    """Sample characteristics uniformly across the boundedness spectrum."""
+    memory_leaning = rng.uniform(0.0, 1.0)  # 0 = pure compute, 1 = pure memory
+    if instructions is None:
+        instructions = float(rng.uniform(1.2e10, 5.5e10))
+    return WorkloadCharacteristics(
+        instructions=instructions,
+        ipc=float(rng.uniform(1.2, 2.3) - 0.4 * memory_leaning),
+        load_frac=float(rng.uniform(0.22, 0.34)),
+        store_frac=float(rng.uniform(0.08, 0.13)),
+        cond_branch_frac=float(rng.uniform(0.08, 0.16)),
+        uncond_branch_frac=float(rng.uniform(0.01, 0.03)),
+        branch_taken_frac=float(rng.uniform(0.5, 0.7)),
+        branch_misp_rate=float(rng.uniform(0.005, 0.05)),
+        flop_frac=float(rng.uniform(0.05, 0.5) * (1.0 - 0.5 * memory_leaning)),
+        l1d_miss_rate=float(0.03 + 0.33 * memory_leaning * rng.uniform(0.7, 1.3)),
+        l2d_miss_rate=float(rng.uniform(0.3, 0.45) + 0.2 * memory_leaning),
+        l3d_miss_rate=float(rng.uniform(0.25, 0.45) + 0.25 * memory_leaning),
+        overlap=float(rng.uniform(0.82, 0.92)),
+        parallel_fraction=float(rng.uniform(0.97, 0.998)),
+        thread_overhead=float(rng.uniform(0.001, 0.006)),
+        stall_penalty_cycles=float(rng.uniform(120, 200)),
+    )
+
+
+def random_application(
+    index: int,
+    *,
+    seed: int = config.DEFAULT_SEED,
+    num_regions: int | None = None,
+) -> Application:
+    """Generate a deterministic synthetic application ``synthetic-<index>``."""
+    rng = rng_for("synthetic-app", index, seed=seed)
+    if num_regions is None:
+        num_regions = int(rng.integers(2, 6))
+    regions = []
+    for r in range(num_regions):
+        regions.append(
+            Region(
+                name=f"kernel_{r}",
+                kind=RegionKind.OMP_PARALLEL if r % 2 else RegionKind.FUNCTION,
+                characteristics=random_characteristics(rng),
+                internal_events=int(rng.integers(8, 40)),
+            )
+        )
+    main = Region(name="main", kind=RegionKind.FUNCTION)
+    main.add_child(phase_region(regions))
+    return Application(
+        name=f"synthetic-{index}",
+        suite="synthetic",
+        model=ProgrammingModel.HYBRID,
+        main=main,
+        phase_iterations=int(rng.integers(4, 10)),
+        description="Generated workload",
+    )

@@ -1,0 +1,100 @@
+"""Region trees: the program structure the tuning plugin operates on.
+
+An application is a tree of regions.  The *phase region* is the
+single-entry/single-exit body of the main progress loop (annotated with
+Score-P macros in the paper); its children are candidate significant
+regions (functions, OpenMP parallel constructs); deeper descendants are
+the fine-granular regions that run/compile-time filtering suppresses.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import WorkloadError
+from repro.workloads.characteristics import WorkloadCharacteristics
+
+
+class RegionKind(enum.Enum):
+    """What language construct a region corresponds to."""
+
+    FUNCTION = "function"
+    OMP_PARALLEL = "omp_parallel"
+    MPI = "mpi"
+    PHASE = "phase"
+    LOOP = "loop"
+
+
+@dataclass
+class Region:
+    """One instrumentable program region.
+
+    Parameters
+    ----------
+    name:
+        Source-level identifier (e.g. ``CalcQForElems`` or
+        ``omp parallel:423``).
+    kind:
+        The construct kind; affects which filtering stage may remove it
+        (OpenMP/MPI wrapper events survive compile-time filtering).
+    characteristics:
+        Work executed by this region itself (exclusive of children); may
+        be ``None`` for pure container regions.
+    calls_per_phase:
+        How many times the region runs per phase iteration.
+    internal_events:
+        Extra instrumented events fired inside one call (OpenMP implicit
+        barriers, MPI wrappers, tiny inlined functions) — the source of
+        residual Score-P overhead after filtering.
+    """
+
+    name: str
+    kind: RegionKind = RegionKind.FUNCTION
+    characteristics: WorkloadCharacteristics | None = None
+    calls_per_phase: int = 1
+    internal_events: int = 0
+    children: list["Region"] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise WorkloadError("region name must be non-empty")
+        if self.calls_per_phase <= 0:
+            raise WorkloadError(f"calls_per_phase must be positive: {self.name}")
+        if self.internal_events < 0:
+            raise WorkloadError(f"internal_events must be >= 0: {self.name}")
+
+    def add_child(self, child: "Region") -> "Region":
+        self.children.append(child)
+        return child
+
+    def walk(self) -> Iterator["Region"]:
+        """Pre-order traversal of this subtree."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> "Region":
+        for region in self.walk():
+            if region.name == name:
+                return region
+        raise WorkloadError(f"no region named {name!r} under {self.name!r}")
+
+    @property
+    def has_work(self) -> bool:
+        return self.characteristics is not None
+
+    def __repr__(self) -> str:  # keep the default dataclass repr shallow
+        return (
+            f"Region({self.name!r}, kind={self.kind.value}, "
+            f"children={len(self.children)})"
+        )
+
+
+def phase_region(children: list[Region], name: str = "phase") -> Region:
+    """Build a phase region wrapping ``children`` (no own work by default)."""
+    region = Region(name=name, kind=RegionKind.PHASE)
+    for child in children:
+        region.add_child(child)
+    return region

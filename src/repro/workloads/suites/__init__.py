@@ -1,0 +1,12 @@
+"""Synthetic versions of the paper's 19 benchmarks (Table II).
+
+Each module builds one suite's applications as region trees whose
+characteristics are calibrated so the boundedness class — and therefore
+the optimal operating point — matches what the paper reports: Lulesh,
+miniMD, BEM4I, Amg2013 compute-leaning (high CF, low-to-mid UCF),
+Mcbenchmark, CG, MG, IS, XSBench memory-bound (low CF, high UCF).
+"""
+
+from repro.workloads.suites import bem4i, coral, llcbench, mantevo, npb
+
+__all__ = ["npb", "coral", "mantevo", "llcbench", "bem4i"]

@@ -1,0 +1,57 @@
+"""BEM4I: boundary element library solving the 3D Helmholtz Dirichlet problem.
+
+The paper's one real-world application: hybrid, four significant regions,
+static optimum 2.3|1.9 at 24 threads — compute-leaning but with more
+memory traffic and lower IPC than Lulesh (dense but irregular BEM
+assembly).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.application import Application, ProgrammingModel
+from repro.workloads.region import Region, RegionKind
+from repro.workloads.suites.common import (
+    balanced_profile,
+    build_phase,
+    significant,
+    tiny,
+)
+
+
+def bem4i() -> Application:
+    regions = [
+        significant(
+            "assembleV",
+            balanced_profile(instructions=4.2e10, ipc=1.35, l1d_miss_rate=0.18),
+            internal_events=26,
+        ),
+        significant(
+            "assembleK",
+            balanced_profile(instructions=3.6e10, ipc=1.3, l1d_miss_rate=0.20),
+            internal_events=26,
+        ),
+        significant(
+            "gmres_solve",
+            balanced_profile(instructions=3.0e10, l1d_miss_rate=0.24, ipc=1.2),
+            internal_events=30,
+        ),
+        significant(
+            "evaluateRepresentation",
+            balanced_profile(instructions=1.9e10, ipc=1.4, l1d_miss_rate=0.16),
+            internal_events=22,
+        ),
+        tiny("quadrature_misc", calls_per_phase=30),
+    ]
+    main = Region(name="main", kind=RegionKind.FUNCTION)
+    main.add_child(build_phase(regions))
+    return Application(
+        name="BEM4I",
+        suite="Other",
+        model=ProgrammingModel.HYBRID,
+        main=main,
+        phase_iterations=7,
+        description="Boundary element solver for the 3D Helmholtz equation",
+    )
+
+
+ALL = {"BEM4I": bem4i}

@@ -1,0 +1,180 @@
+"""Shared helpers for building suite benchmarks.
+
+The *profiles* are instruction-mix templates per boundedness class; each
+benchmark derives its regions from a profile with per-region deviations,
+so regions within one application have different optimal configurations —
+the heterogeneity region-based (dynamic) tuning exploits.
+"""
+
+from __future__ import annotations
+
+from repro.util.rng import rng_for
+from repro.workloads.characteristics import WorkloadCharacteristics
+from repro.workloads.region import Region, RegionKind, phase_region
+
+#: Baseline instruction count of a significant region instance; chosen so a
+#: region runs for a few hundred milliseconds at the calibration point.
+SIGNIFICANT_INSTRUCTIONS = 3.0e10
+#: Instruction count of a fine-granular (filterable) region.
+TINY_INSTRUCTIONS = 2.0e8
+
+
+def compute_profile(**overrides) -> WorkloadCharacteristics:
+    """Strongly compute-bound (EP, Blasbench, miniMD class)."""
+    base = dict(
+        instructions=SIGNIFICANT_INSTRUCTIONS,
+        ipc=2.0,
+        load_frac=0.24,
+        store_frac=0.09,
+        flop_frac=0.35,
+        l1d_miss_rate=0.06,
+        l2d_miss_rate=0.35,
+        l3d_miss_rate=0.35,
+        branch_misp_rate=0.008,
+        overlap=0.88,
+        parallel_fraction=0.995,
+        thread_overhead=0.0005,
+    )
+    base.update(overrides)
+    return WorkloadCharacteristics(**base)
+
+
+def moderate_profile(**overrides) -> WorkloadCharacteristics:
+    """Compute-leaning with real memory traffic (Lulesh class)."""
+    base = dict(
+        instructions=SIGNIFICANT_INSTRUCTIONS,
+        ipc=1.8,
+        load_frac=0.26,
+        store_frac=0.10,
+        flop_frac=0.30,
+        l1d_miss_rate=0.14,
+        l2d_miss_rate=0.45,
+        l3d_miss_rate=0.45,
+        branch_misp_rate=0.015,
+        overlap=0.85,
+        parallel_fraction=0.99,
+        thread_overhead=0.0005,
+    )
+    base.update(overrides)
+    return WorkloadCharacteristics(**base)
+
+
+def balanced_profile(**overrides) -> WorkloadCharacteristics:
+    """Between compute and memory bound (BEM4I, Amg2013, FT class)."""
+    base = dict(
+        instructions=SIGNIFICANT_INSTRUCTIONS,
+        ipc=1.3,
+        load_frac=0.28,
+        store_frac=0.11,
+        flop_frac=0.25,
+        l1d_miss_rate=0.22,
+        l2d_miss_rate=0.50,
+        l3d_miss_rate=0.50,
+        branch_misp_rate=0.02,
+        overlap=0.86,
+        parallel_fraction=0.99,
+        thread_overhead=0.0005,
+    )
+    base.update(overrides)
+    return WorkloadCharacteristics(**base)
+
+
+def memory_profile(**overrides) -> WorkloadCharacteristics:
+    """Memory-bandwidth bound (Mcbenchmark, CG, MG, IS class)."""
+    base = dict(
+        instructions=SIGNIFICANT_INSTRUCTIONS,
+        ipc=1.0,
+        load_frac=0.32,
+        store_frac=0.12,
+        flop_frac=0.12,
+        l1d_miss_rate=0.32,
+        l2d_miss_rate=0.60,
+        l3d_miss_rate=0.62,
+        branch_misp_rate=0.03,
+        stall_penalty_cycles=180.0,
+        overlap=0.90,
+        parallel_fraction=0.99,
+        thread_overhead=0.0012,
+    )
+    base.update(overrides)
+    return WorkloadCharacteristics(**base)
+
+
+def diversify_mix(
+    chars: WorkloadCharacteristics, key: str
+) -> WorkloadCharacteristics:
+    """Give a region an individual instruction-mix flavour.
+
+    Real codes differ widely in load/store ratios, branch behaviour,
+    floating-point content and instruction-cache footprint — the
+    diversity the counter-selection algorithm of Table I relies on.
+    Only *counter-flavour* fields are perturbed; everything the timing
+    and power models consume (instructions, IPC, data-cache miss rates,
+    the combined load+store fraction, overlap, thread scaling) is
+    preserved, so the calibrated optima are untouched.
+    """
+    rng = rng_for("mix-diversity", key)
+    data_frac = chars.load_frac + chars.store_frac
+    # Fields feeding the model's seven features vary mildly (they must
+    # keep encoding boundedness); counters outside the feature set vary
+    # widely (they drive the Table I selection's diversity).
+    load_share = float(rng.uniform(0.68, 0.78))
+    return chars.with_(
+        load_frac=data_frac * load_share,
+        store_frac=data_frac * (1.0 - load_share),
+        cond_branch_frac=float(rng.uniform(0.10, 0.14)),
+        uncond_branch_frac=float(rng.uniform(0.01, 0.04)),
+        branch_taken_frac=float(rng.uniform(0.55, 0.65)),
+        branch_misp_rate=float(rng.uniform(0.010, 0.030)),
+        flop_frac=float(rng.uniform(0.02, 0.45)),
+        sp_fraction=float(rng.uniform(0.0, 0.3)),
+        vector_frac=float(rng.uniform(0.2, 0.8)),
+        l1i_miss_rate=float(rng.uniform(1.5e-3, 3.0e-3)),
+        l2i_miss_rate=float(rng.uniform(0.08, 0.30)),
+        tlb_dm_rate=float(chars.tlb_dm_rate * rng.uniform(0.3, 3.0)),
+        tlb_im_rate=float(chars.tlb_im_rate * rng.uniform(0.3, 3.0)),
+        stall_penalty_cycles=float(
+            chars.stall_penalty_cycles * rng.uniform(0.92, 1.08)
+        ),
+    )
+
+
+def significant(
+    name: str,
+    chars: WorkloadCharacteristics,
+    *,
+    kind: RegionKind = RegionKind.FUNCTION,
+    internal_events: int = 24,
+    calls_per_phase: int = 1,
+) -> Region:
+    """A tunable region: big enough to pass the 100 ms threshold."""
+    return Region(
+        name=name,
+        kind=kind,
+        characteristics=diversify_mix(chars, name),
+        internal_events=internal_events,
+        calls_per_phase=calls_per_phase,
+    )
+
+
+def tiny(
+    name: str,
+    *,
+    kind: RegionKind = RegionKind.FUNCTION,
+    calls_per_phase: int = 40,
+    profile: WorkloadCharacteristics | None = None,
+) -> Region:
+    """A fine-granular region that run-time filtering should suppress."""
+    chars = (profile or compute_profile()).with_(instructions=TINY_INSTRUCTIONS)
+    return Region(
+        name=name,
+        kind=kind,
+        characteristics=diversify_mix(chars, name),
+        internal_events=4,
+        calls_per_phase=calls_per_phase,
+    )
+
+
+def build_phase(regions: list[Region]) -> Region:
+    """Assemble the phase region from its children."""
+    return phase_region(regions)

@@ -1,0 +1,50 @@
+"""LLCBench suite: Blasbench — dense linear algebra microbenchmark."""
+
+from __future__ import annotations
+
+from repro.workloads.application import Application, ProgrammingModel
+from repro.workloads.region import Region, RegionKind
+from repro.workloads.suites.common import (
+    build_phase,
+    compute_profile,
+    moderate_profile,
+    significant,
+    tiny,
+)
+
+
+def blasbench() -> Application:
+    """Blasbench: BLAS level 1-3 kernels — dense compute, cache friendly."""
+    regions = [
+        significant(
+            "dgemm_kernel",
+            compute_profile(instructions=5.4e10, flop_frac=0.55, ipc=2.3,
+                            l1d_miss_rate=0.03, l3d_miss_rate=0.22),
+            kind=RegionKind.OMP_PARALLEL,
+            internal_events=12,
+        ),
+        significant(
+            "dgemv_kernel",
+            moderate_profile(instructions=1.8e10, l1d_miss_rate=0.19),
+            kind=RegionKind.OMP_PARALLEL,
+            internal_events=12,
+        ),
+        tiny("daxpy_warmup", calls_per_phase=24),
+    ]
+    return Application(
+        name="Blasbench",
+        suite="LLCBench",
+        model=ProgrammingModel.HYBRID,
+        main=_main(regions),
+        phase_iterations=7,
+        description="BLAS performance characterization kernels",
+    )
+
+
+def _main(regions) -> Region:
+    main = Region(name="main", kind=RegionKind.FUNCTION)
+    main.add_child(build_phase(regions))
+    return main
+
+
+ALL = {"Blasbench": blasbench}

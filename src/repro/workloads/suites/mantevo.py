@@ -1,0 +1,91 @@
+"""Mantevo suite: CoMD (MPI) and miniMD (hybrid) molecular dynamics."""
+
+from __future__ import annotations
+
+from repro.workloads.application import Application, ProgrammingModel
+from repro.workloads.region import Region, RegionKind
+from repro.workloads.suites.common import (
+    balanced_profile,
+    build_phase,
+    compute_profile,
+    moderate_profile,
+    significant,
+    tiny,
+)
+
+
+def comd() -> Application:
+    """CoMD: classical MD reference — compute bound, MPI only."""
+    regions = [
+        significant(
+            "computeForce",
+            compute_profile(instructions=4.6e10, flop_frac=0.42, ipc=2.1,
+                            l1d_miss_rate=0.05),
+        ),
+        significant("advanceVelocity", moderate_profile(instructions=1.6e10)),
+        Region(
+            name="MPI_haloExchange",
+            kind=RegionKind.MPI,
+            characteristics=balanced_profile(instructions=6.0e8).with_(
+                parallel_fraction=0.2
+            ),
+            internal_events=14,
+            calls_per_phase=6,
+        ),
+        tiny("redistributeAtoms"),
+    ]
+    return Application(
+        name="CoMD",
+        suite="Mantevo",
+        model=ProgrammingModel.MPI,
+        main=_main(regions),
+        phase_iterations=8,
+        description="Classical molecular dynamics proxy (EAM potential)",
+    )
+
+
+def minimd() -> Application:
+    """miniMD: Lennard-Jones MD — strongly compute bound (paper: 2.5|1.5).
+
+    Three significant regions; ``neighbor_build`` touches more memory than
+    the force kernel, so region-based tuning assigns it a higher UCF.
+    """
+    regions = [
+        significant(
+            "force_compute",
+            compute_profile(instructions=5.2e10, flop_frac=0.45, ipc=2.15,
+                            l1d_miss_rate=0.045, l3d_miss_rate=0.28),
+            kind=RegionKind.OMP_PARALLEL,
+            internal_events=20,
+        ),
+        significant(
+            "neighbor_build",
+            moderate_profile(instructions=2.0e10, l1d_miss_rate=0.16),
+            kind=RegionKind.OMP_PARALLEL,
+            internal_events=22,
+        ),
+        significant(
+            "integrate",
+            compute_profile(instructions=1.6e10, l1d_miss_rate=0.07),
+            kind=RegionKind.OMP_PARALLEL,
+            internal_events=16,
+        ),
+        tiny("pbc_wrap", calls_per_phase=12),
+    ]
+    return Application(
+        name="miniMD",
+        suite="Mantevo",
+        model=ProgrammingModel.HYBRID,
+        main=_main(regions),
+        phase_iterations=9,
+        description="Lennard-Jones molecular dynamics mini-app",
+    )
+
+
+def _main(regions) -> Region:
+    main = Region(name="main", kind=RegionKind.FUNCTION)
+    main.add_child(build_phase(regions))
+    return main
+
+
+ALL = {"CoMD": comd, "miniMD": minimd}

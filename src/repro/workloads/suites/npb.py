@@ -1,0 +1,267 @@
+"""NAS Parallel Benchmarks (NPB-3.3): CG, DC, EP, FT, IS, MG, BT, BT-MZ, SP-MZ.
+
+Per the paper: CG, DC, EP, FT, IS, MG and BT are the OpenMP
+implementations; BT-MZ and SP-MZ are the hybrid multi-zone versions.
+Characteristics follow the well-known boundedness of each kernel: EP is
+embarrassingly parallel compute; CG/MG/IS are bandwidth/latency bound;
+FT and DC sit in between; BT/SP are compute-leaning stencil solvers.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.application import Application, ProgrammingModel
+from repro.workloads.region import Region, RegionKind
+from repro.workloads.suites.common import (
+    balanced_profile,
+    build_phase,
+    compute_profile,
+    memory_profile,
+    moderate_profile,
+    significant,
+    tiny,
+)
+
+
+def cg() -> Application:
+    """CG: conjugate gradient, irregular sparse matvec — memory bound."""
+    regions = [
+        significant(
+            "conj_grad",
+            memory_profile(instructions=4.5e10, l1d_miss_rate=0.34, ipc=1.3),
+            kind=RegionKind.OMP_PARALLEL,
+            internal_events=30,
+        ),
+        significant(
+            "sparse_matvec",
+            memory_profile(instructions=3.0e10, l1d_miss_rate=0.30),
+            kind=RegionKind.OMP_PARALLEL,
+        ),
+        tiny("norm_temp", profile=memory_profile()),
+    ]
+    return Application(
+        name="CG",
+        suite="NPB-3.3",
+        model=ProgrammingModel.OPENMP,
+        main=_main(regions),
+        phase_iterations=8,
+        description="Conjugate gradient with irregular memory access",
+    )
+
+
+def dc() -> Application:
+    """DC: data cube operator — data-movement heavy."""
+    regions = [
+        significant(
+            "ProcessCube",
+            memory_profile(instructions=3.5e10, l1d_miss_rate=0.28, l3d_miss_rate=0.55),
+        ),
+        significant(
+            "WriteViewToDisk",
+            balanced_profile(instructions=1.6e10, l1d_miss_rate=0.24),
+        ),
+        tiny("checksum"),
+    ]
+    return Application(
+        name="DC",
+        suite="NPB-3.3",
+        model=ProgrammingModel.OPENMP,
+        main=_main(regions),
+        phase_iterations=6,
+        description="Arithmetic data cube operator",
+    )
+
+
+def ep() -> Application:
+    """EP: embarrassingly parallel random-number kernel — pure compute."""
+    regions = [
+        significant(
+            "gaussian_pairs",
+            compute_profile(
+                instructions=6.0e10,
+                l1d_miss_rate=0.02,
+                l2d_miss_rate=0.25,
+                l3d_miss_rate=0.20,
+                flop_frac=0.45,
+                ipc=2.2,
+            ),
+            kind=RegionKind.OMP_PARALLEL,
+            internal_events=12,
+        ),
+        tiny("tally_counts"),
+    ]
+    return Application(
+        name="EP",
+        suite="NPB-3.3",
+        model=ProgrammingModel.OPENMP,
+        main=_main(regions),
+        phase_iterations=5,
+        description="Embarrassingly parallel marsaglia RNG kernel",
+    )
+
+
+def ft() -> Application:
+    """FT: 3-D FFT — alternating compute and transpose (bandwidth) phases."""
+    regions = [
+        significant("fft_xyz", balanced_profile(instructions=3.2e10, flop_frac=0.35)),
+        significant(
+            "transpose",
+            memory_profile(instructions=2.2e10, l1d_miss_rate=0.30),
+        ),
+        significant("evolve", moderate_profile(instructions=1.8e10)),
+        tiny("checksum"),
+    ]
+    return Application(
+        name="FT",
+        suite="NPB-3.3",
+        model=ProgrammingModel.OPENMP,
+        main=_main(regions),
+        phase_iterations=6,
+        description="3-D fast Fourier transform",
+    )
+
+
+def is_() -> Application:
+    """IS: integer bucket sort — random access, memory latency bound."""
+    regions = [
+        significant(
+            "rank",
+            memory_profile(
+                instructions=3.8e10,
+                l1d_miss_rate=0.36,
+                l3d_miss_rate=0.68,
+                ipc=1.2,
+                flop_frac=0.01,
+            ),
+            kind=RegionKind.OMP_PARALLEL,
+        ),
+        significant(
+            "full_verify",
+            memory_profile(instructions=1.5e10, l1d_miss_rate=0.25),
+        ),
+        tiny("alloc_key_buff"),
+    ]
+    return Application(
+        name="IS",
+        suite="NPB-3.3",
+        model=ProgrammingModel.OPENMP,
+        main=_main(regions),
+        phase_iterations=8,
+        description="Integer bucket sort",
+    )
+
+
+def mg() -> Application:
+    """MG: multigrid V-cycle — long-stride bandwidth bound."""
+    regions = [
+        significant("resid", memory_profile(instructions=3.0e10, l1d_miss_rate=0.30)),
+        significant("psinv", memory_profile(instructions=2.4e10, l1d_miss_rate=0.28)),
+        significant(
+            "rprj3_interp",
+            balanced_profile(instructions=1.8e10, l1d_miss_rate=0.24),
+        ),
+        tiny("comm3", kind=RegionKind.FUNCTION),
+    ]
+    return Application(
+        name="MG",
+        suite="NPB-3.3",
+        model=ProgrammingModel.OPENMP,
+        main=_main(regions),
+        phase_iterations=8,
+        description="Multigrid V-cycle on structured grids",
+    )
+
+
+def bt() -> Application:
+    """BT: block-tridiagonal solver — compute-leaning stencil code."""
+    regions = [
+        significant("compute_rhs", moderate_profile(instructions=2.6e10)),
+        significant("x_solve", moderate_profile(instructions=2.8e10, ipc=1.9)),
+        significant("y_solve", moderate_profile(instructions=2.8e10, ipc=1.9)),
+        significant(
+            "z_solve",
+            moderate_profile(instructions=3.0e10, l1d_miss_rate=0.18),
+        ),
+        tiny("add"),
+    ]
+    return Application(
+        name="BT",
+        suite="NPB-3.3",
+        model=ProgrammingModel.OPENMP,
+        main=_main(regions),
+        phase_iterations=6,
+        description="Block-tridiagonal CFD pseudo-application",
+    )
+
+
+def bt_mz() -> Application:
+    """BT-MZ: multi-zone hybrid BT with MPI exchange between zones."""
+    regions = [
+        significant("compute_rhs", moderate_profile(instructions=2.4e10)),
+        significant("zone_solve", moderate_profile(instructions=4.2e10, ipc=1.9)),
+        Region(
+            name="MPI_exch_qbc",
+            kind=RegionKind.MPI,
+            characteristics=balanced_profile(instructions=6.0e8).with_(
+                parallel_fraction=0.2
+            ),
+            internal_events=16,
+            calls_per_phase=4,
+        ),
+        tiny("timer_sync", kind=RegionKind.MPI),
+    ]
+    return Application(
+        name="BT-MZ",
+        suite="NPB-3.3",
+        model=ProgrammingModel.HYBRID,
+        main=_main(regions),
+        phase_iterations=6,
+        description="Hybrid multi-zone block-tridiagonal solver",
+    )
+
+
+def sp_mz() -> Application:
+    """SP-MZ: multi-zone hybrid scalar-pentadiagonal solver."""
+    regions = [
+        significant("compute_rhs", moderate_profile(instructions=2.2e10)),
+        significant(
+            "zone_solve",
+            moderate_profile(instructions=3.8e10, l1d_miss_rate=0.16),
+        ),
+        Region(
+            name="MPI_exch_qbc",
+            kind=RegionKind.MPI,
+            characteristics=balanced_profile(instructions=5.0e8).with_(
+                parallel_fraction=0.2
+            ),
+            internal_events=16,
+            calls_per_phase=4,
+        ),
+        tiny("txinvr"),
+    ]
+    return Application(
+        name="SP-MZ",
+        suite="NPB-3.3",
+        model=ProgrammingModel.HYBRID,
+        main=_main(regions),
+        phase_iterations=6,
+        description="Hybrid multi-zone scalar-pentadiagonal solver",
+    )
+
+
+def _main(regions) -> Region:
+    main = Region(name="main", kind=RegionKind.FUNCTION)
+    main.add_child(build_phase(regions))
+    return main
+
+
+ALL = {
+    "CG": cg,
+    "DC": dc,
+    "EP": ep,
+    "FT": ft,
+    "IS": is_,
+    "MG": mg,
+    "BT": bt,
+    "BT-MZ": bt_mz,
+    "SP-MZ": sp_mz,
+}

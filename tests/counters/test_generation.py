@@ -1,0 +1,105 @@
+"""Tests for counter-value derivation from workload characteristics."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.counters.generation import (
+    CounterGenerator,
+    MeasurementContext,
+    exact_counters,
+)
+from repro.counters.papi import PAPI_PRESETS
+from repro.workloads.characteristics import WorkloadCharacteristics
+from repro.workloads.generator import random_characteristics
+from repro.util.rng import rng_for
+
+
+@pytest.fixture
+def chars() -> WorkloadCharacteristics:
+    return WorkloadCharacteristics(instructions=1e10)
+
+
+@pytest.fixture
+def ctx() -> MeasurementContext:
+    return MeasurementContext(elapsed_s=0.5, core_freq_ghz=2.0, threads=24)
+
+
+class TestExactCounters:
+    def test_all_presets_covered(self, chars, ctx):
+        values = exact_counters(chars, ctx)
+        assert set(values) == set(PAPI_PRESETS)
+
+    def test_all_values_non_negative(self, chars, ctx):
+        assert all(v >= 0 for v in exact_counters(chars, ctx).values())
+
+    def test_branch_accounting_consistent(self, chars, ctx):
+        v = exact_counters(chars, ctx)
+        assert v["PAPI_BR_TKN"] + v["PAPI_BR_NTK"] == pytest.approx(v["PAPI_BR_CN"])
+        assert v["PAPI_BR_MSP"] + v["PAPI_BR_PRC"] == pytest.approx(v["PAPI_BR_CN"])
+        assert v["PAPI_BR_CN"] + v["PAPI_BR_UCN"] == pytest.approx(v["PAPI_BR_INS"])
+
+    def test_load_store_sum(self, chars, ctx):
+        v = exact_counters(chars, ctx)
+        assert v["PAPI_LD_INS"] + v["PAPI_SR_INS"] == pytest.approx(v["PAPI_LST_INS"])
+
+    def test_cache_hierarchy_monotone(self, chars, ctx):
+        v = exact_counters(chars, ctx)
+        assert v["PAPI_L1_DCM"] >= v["PAPI_L2_DCM"] >= v["PAPI_L3_TCM"]
+
+    def test_l2_reads_writes_partition_accesses(self, chars, ctx):
+        v = exact_counters(chars, ctx)
+        assert v["PAPI_L2_DCR"] + v["PAPI_L2_DCW"] == pytest.approx(v["PAPI_L2_DCA"])
+
+    def test_stalls_bounded_by_cycles(self, chars, ctx):
+        v = exact_counters(chars, ctx)
+        assert v["PAPI_RES_STL"] <= v["PAPI_TOT_CYC"]
+
+    def test_cycles_scale_with_time_and_frequency(self, chars):
+        v1 = exact_counters(chars, MeasurementContext(1.0, 2.0, 24))
+        v2 = exact_counters(chars, MeasurementContext(2.0, 2.0, 24))
+        assert v2["PAPI_TOT_CYC"] == pytest.approx(2 * v1["PAPI_TOT_CYC"])
+        # Frequency-independent counters must not change with context.
+        assert v2["PAPI_LD_INS"] == v1["PAPI_LD_INS"]
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=500))
+    def test_invariants_hold_for_random_workloads(self, idx):
+        rng = rng_for("gen-test", idx)
+        chars = random_characteristics(rng)
+        ctx = MeasurementContext(elapsed_s=1.0, core_freq_ghz=2.0, threads=24)
+        v = exact_counters(chars, ctx)
+        assert all(val >= 0 for val in v.values())
+        assert v["PAPI_L1_DCM"] >= v["PAPI_L2_DCM"] >= v["PAPI_L3_TCM"]
+        assert v["PAPI_RES_STL"] <= v["PAPI_TOT_CYC"]
+        assert v["PAPI_TOT_INS"] >= v["PAPI_LST_INS"]
+
+
+class TestCounterGenerator:
+    def test_noise_is_deterministic(self, chars, ctx):
+        gen = CounterGenerator()
+        a = gen.sample(chars, ctx, key=("run", 1))
+        b = gen.sample(chars, ctx, key=("run", 1))
+        assert a == b
+
+    def test_noise_differs_across_runs(self, chars, ctx):
+        gen = CounterGenerator()
+        a = gen.sample(chars, ctx, key=("run", 1))
+        b = gen.sample(chars, ctx, key=("run", 2))
+        assert a != b
+
+    def test_noise_is_small(self, chars, ctx):
+        gen = CounterGenerator()
+        exact = exact_counters(chars, ctx)
+        noisy = gen.sample(chars, ctx, key=("run", 3))
+        for name, value in noisy.items():
+            if exact[name] > 0:
+                assert abs(value / exact[name] - 1.0) < 0.10
+
+    def test_averaging_across_runs_converges(self, chars, ctx):
+        gen = CounterGenerator()
+        exact = exact_counters(chars, ctx)["PAPI_LD_INS"]
+        samples = [
+            gen.sample(chars, ctx, key=("avg", i))["PAPI_LD_INS"] for i in range(40)
+        ]
+        mean = sum(samples) / len(samples)
+        assert abs(mean / exact - 1.0) < 0.01

@@ -1,0 +1,102 @@
+"""Tests for PAPI preset definitions, native events and event sets."""
+
+import pytest
+
+from repro import config
+from repro.counters.eventset import EventSet, MultiplexSchedule
+from repro.counters.native import NATIVE_EVENTS
+from repro.counters.papi import PAPI_PRESETS, TABLE1_COUNTERS, preset, preset_names
+from repro.errors import CounterError, EventSetError
+
+
+class TestPresets:
+    def test_platform_has_56_presets(self):
+        assert len(PAPI_PRESETS) == config.PAPI_NUM_PRESET_COUNTERS == 56
+
+    def test_platform_has_162_native_events(self):
+        assert len(NATIVE_EVENTS) == config.PAPI_NUM_NATIVE_COUNTERS == 162
+
+    def test_table1_counters_are_presets(self):
+        for name in TABLE1_COUNTERS:
+            assert name in PAPI_PRESETS
+        assert len(TABLE1_COUNTERS) == 7
+
+    def test_lookup_by_short_name(self):
+        assert preset("LD_INS").name == "PAPI_LD_INS"
+        assert preset("PAPI_LD_INS").short_name == "LD_INS"
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(CounterError):
+            preset("PAPI_NOT_A_COUNTER")
+
+    def test_codes_are_unique(self):
+        codes = {c.code for c in PAPI_PRESETS.values()}
+        assert len(codes) == len(PAPI_PRESETS)
+
+    def test_enumeration_order_stable(self):
+        names = preset_names()
+        assert names[0] == "PAPI_L1_DCM"
+        assert len(names) == 56
+
+
+class TestEventSet:
+    def test_capacity_limit_enforced(self):
+        es = EventSet()
+        for name in ("LD_INS", "SR_INS", "BR_MSP", "BR_NTK"):
+            es.add_event(name)
+        with pytest.raises(EventSetError, match="full"):
+            es.add_event("RES_STL")
+
+    def test_duplicate_event_rejected(self):
+        es = EventSet()
+        es.add_event("LD_INS")
+        with pytest.raises(EventSetError, match="already"):
+            es.add_event("PAPI_LD_INS")
+
+    def test_start_stop_reads_only_programmed_events(self):
+        es = EventSet()
+        es.add_event("LD_INS")
+        es.add_event("SR_INS")
+        es.start()
+        measurement = {name: 1.0 for name in PAPI_PRESETS}
+        values = es.stop(measurement)
+        assert set(values) == {"PAPI_LD_INS", "PAPI_SR_INS"}
+
+    def test_read_before_measurement_rejected(self):
+        es = EventSet()
+        es.add_event("LD_INS")
+        with pytest.raises(EventSetError):
+            es.read()
+
+    def test_empty_set_cannot_start(self):
+        with pytest.raises(EventSetError):
+            EventSet().start()
+
+    def test_modification_while_running_rejected(self):
+        es = EventSet()
+        es.add_event("LD_INS")
+        es.start()
+        with pytest.raises(EventSetError):
+            es.add_event("SR_INS")
+
+
+class TestMultiplexSchedule:
+    def test_all_presets_need_14_runs(self):
+        schedule = MultiplexSchedule(list(PAPI_PRESETS))
+        assert schedule.num_runs == 14  # ceil(56 / 4)
+
+    def test_groups_cover_all_events_once(self):
+        schedule = MultiplexSchedule(list(PAPI_PRESETS))
+        flat = [e for g in schedule.groups for e in g]
+        assert sorted(flat) == sorted(PAPI_PRESETS)
+
+    def test_duplicate_events_rejected(self):
+        with pytest.raises(EventSetError):
+            MultiplexSchedule(["LD_INS", "PAPI_LD_INS"])
+
+    def test_event_sets_are_programmed(self):
+        schedule = MultiplexSchedule(["LD_INS", "SR_INS", "BR_MSP", "BR_NTK", "RES_STL"])
+        sets = schedule.event_sets()
+        assert len(sets) == 2
+        assert len(sets[0].events) == 4
+        assert len(sets[1].events) == 1

@@ -1,0 +1,119 @@
+"""Tests for DVFS/UFS controllers and the x86_adapt wrapper."""
+
+import pytest
+
+from repro import config
+from repro.errors import FrequencyError, HardwareError
+from repro.hardware.frequency import quantize_frequency
+from repro.hardware.node import ComputeNode
+from repro.hardware.x86_adapt import X86AdaptKnob
+
+
+@pytest.fixture
+def node() -> ComputeNode:
+    return ComputeNode(0)
+
+
+class TestQuantize:
+    def test_on_grid_unchanged(self):
+        assert quantize_frequency(2.4) == 2.4
+
+    def test_snaps_to_nearest_step(self):
+        assert quantize_frequency(2.44) == 2.4
+        assert quantize_frequency(2.46) == 2.5
+
+    def test_float_noise_does_not_leak(self):
+        assert quantize_frequency(0.1 + 0.2) == 0.3
+
+
+class TestDVFS:
+    def test_default_frequency(self, node):
+        assert node.core_freq_ghz == config.DEFAULT_CORE_FREQ_GHZ
+
+    def test_set_all_cores(self, node):
+        node.dvfs.set_all(1.8)
+        assert node.core_freq_ghz == 1.8
+        for core in node.topology.all_core_ids():
+            assert node.dvfs.get_frequency(core) == 1.8
+
+    def test_per_core_setting(self, node):
+        node.dvfs.set_frequency(0, 1.2)
+        assert node.dvfs.get_frequency(0) == 1.2
+        assert node.dvfs.get_frequency(1) == config.DEFAULT_CORE_FREQ_GHZ
+
+    def test_mixed_frequencies_detected(self, node):
+        node.dvfs.set_frequency(0, 1.2)
+        with pytest.raises(FrequencyError, match="mixed"):
+            node.core_freq_ghz
+
+    def test_out_of_range_rejected(self, node):
+        with pytest.raises(FrequencyError):
+            node.dvfs.set_frequency(0, 1.1)
+        with pytest.raises(FrequencyError):
+            node.dvfs.set_frequency(0, 2.6)
+
+    def test_boundary_frequencies_accepted(self, node):
+        assert node.dvfs.set_frequency(0, config.CORE_FREQ_MIN_GHZ) == 1.2
+        assert node.dvfs.set_frequency(0, config.CORE_FREQ_MAX_GHZ) == 2.5
+
+    def test_transitions_logged_with_latency(self, node):
+        node.dvfs.log.clear()
+        node.dvfs.set_all(2.0)
+        assert node.dvfs.log.count == node.topology.num_cores
+        expected = node.topology.num_cores * config.DVFS_TRANSITION_LATENCY_S
+        assert node.dvfs.log.total_latency_s == pytest.approx(expected)
+
+    def test_no_op_transition_not_logged(self, node):
+        node.dvfs.log.clear()
+        node.dvfs.set_all(config.DEFAULT_CORE_FREQ_GHZ)
+        assert node.dvfs.log.count == 0
+
+
+class TestUFS:
+    def test_default_frequency(self, node):
+        assert node.uncore_freq_ghz == config.DEFAULT_UNCORE_FREQ_GHZ
+
+    def test_set_per_socket(self, node):
+        node.ufs.set_frequency(0, 1.5)
+        assert node.ufs.get_frequency(0) == 1.5
+        assert node.ufs.get_frequency(1) == config.DEFAULT_UNCORE_FREQ_GHZ
+
+    def test_out_of_range_rejected(self, node):
+        with pytest.raises(FrequencyError):
+            node.ufs.set_frequency(0, 1.2)
+        with pytest.raises(FrequencyError):
+            node.ufs.set_frequency(0, 3.1)
+
+    def test_transition_latency_per_socket(self, node):
+        node.ufs.log.clear()
+        node.ufs.set_all(2.0)
+        assert node.ufs.log.count == 2
+        assert node.ufs.log.total_latency_s == pytest.approx(
+            2 * config.UFS_TRANSITION_LATENCY_S
+        )
+
+    def test_ratio_roundtrip_through_msr(self, node):
+        node.ufs.set_all(2.1)
+        assert node.uncore_freq_ghz == 2.1
+
+
+class TestX86Adapt:
+    def test_pstate_knob_sets_core_frequency(self, node):
+        node.x86_adapt.set_setting(5, X86AdaptKnob.INTEL_TARGET_PSTATE, 14)
+        assert node.dvfs.get_frequency(5) == 1.4
+
+    def test_uncore_knob_sets_socket_frequency(self, node):
+        node.x86_adapt.set_setting(1, X86AdaptKnob.INTEL_UNCORE_RATIO, 22)
+        assert node.ufs.get_frequency(1) == 2.2
+
+    def test_get_setting_roundtrip(self, node):
+        node.x86_adapt.set_setting(0, X86AdaptKnob.INTEL_TARGET_PSTATE, 20)
+        assert node.x86_adapt.get_setting(0, X86AdaptKnob.INTEL_TARGET_PSTATE) == 20
+
+    def test_out_of_range_knob_value_rejected(self, node):
+        with pytest.raises(HardwareError):
+            node.x86_adapt.set_setting(0, X86AdaptKnob.INTEL_TARGET_PSTATE, 26)
+
+    def test_knob_range_matches_platform(self, node):
+        assert node.x86_adapt.knob_range(X86AdaptKnob.INTEL_TARGET_PSTATE) == (12, 25)
+        assert node.x86_adapt.knob_range(X86AdaptKnob.INTEL_UNCORE_RATIO) == (13, 30)

@@ -1,0 +1,87 @@
+"""Tests for the simulated MSR register file and msr-tools wrappers."""
+
+import pytest
+
+from repro.errors import MSRError
+from repro.hardware.msr import (
+    MSR,
+    MSRRegisterFile,
+    RAPL_ESU,
+    ghz_of_ratio,
+    ratio_of_ghz,
+)
+from repro.hardware.msr_tools import rdmsr, rdmsr_all, wrmsr, wrmsr_all
+
+
+@pytest.fixture
+def regfile() -> MSRRegisterFile:
+    return MSRRegisterFile(num_cores=24, num_sockets=2, cores_per_socket=12)
+
+
+class TestRatioEncoding:
+    def test_roundtrip_all_core_frequencies(self):
+        for f in [1.2, 1.3, 2.0, 2.4, 2.5, 3.0]:
+            assert ghz_of_ratio(ratio_of_ghz(f)) == f
+
+    def test_ratio_is_bus_clock_multiples(self):
+        assert ratio_of_ghz(2.5) == 25
+        assert ratio_of_ghz(1.2) == 12
+
+
+class TestRegisterFile:
+    def test_unknown_register_rejected(self, regfile):
+        with pytest.raises(MSRError, match="unknown MSR"):
+            regfile.read(0, 0xDEAD)
+
+    def test_unknown_cpu_rejected(self, regfile):
+        with pytest.raises(MSRError, match="no such cpu"):
+            regfile.read(99, MSR.IA32_PERF_CTL)
+
+    def test_core_scope_registers_are_per_core(self, regfile):
+        regfile.write(3, MSR.IA32_PERF_CTL, 0x1900)
+        assert regfile.read(3, MSR.IA32_PERF_CTL) == 0x1900
+        assert regfile.read(4, MSR.IA32_PERF_CTL) == 0
+
+    def test_package_scope_registers_alias_across_cores(self, regfile):
+        regfile.write(0, MSR.MSR_UNCORE_RATIO_LIMIT, 0x1E1E)
+        # Any core of socket 0 sees the value; socket 1 does not.
+        assert regfile.read(11, MSR.MSR_UNCORE_RATIO_LIMIT) == 0x1E1E
+        assert regfile.read(12, MSR.MSR_UNCORE_RATIO_LIMIT) == 0
+
+    def test_read_only_registers_reject_writes(self, regfile):
+        for addr in (MSR.IA32_PERF_STATUS, MSR.MSR_PKG_ENERGY_STATUS,
+                     MSR.MSR_DRAM_ENERGY_STATUS, MSR.MSR_RAPL_POWER_UNIT):
+            with pytest.raises(MSRError, match="read-only"):
+                regfile.write(0, addr, 1)
+
+    def test_hw_set_bypasses_write_protection(self, regfile):
+        regfile.hw_set(0, MSR.MSR_PKG_ENERGY_STATUS, 42)
+        assert regfile.read(0, MSR.MSR_PKG_ENERGY_STATUS) == 42
+
+    def test_value_out_of_64bit_range_rejected(self, regfile):
+        with pytest.raises(MSRError, match="64-bit"):
+            regfile.write(0, MSR.IA32_PERF_CTL, 1 << 64)
+        with pytest.raises(MSRError, match="64-bit"):
+            regfile.write(0, MSR.IA32_PERF_CTL, -1)
+
+    def test_rapl_power_unit_exposes_esu(self, regfile):
+        unit = regfile.read(0, MSR.MSR_RAPL_POWER_UNIT)
+        assert (unit >> 8) & 0x1F == RAPL_ESU
+
+    def test_inconsistent_topology_rejected(self):
+        with pytest.raises(MSRError):
+            MSRRegisterFile(num_cores=20, num_sockets=2, cores_per_socket=12)
+
+
+class TestMsrTools:
+    def test_rdmsr_wrmsr_accept_hex_strings(self, regfile):
+        wrmsr(regfile, 0, "0x199", "0x1800")
+        assert rdmsr(regfile, 0, "0x199") == 0x1800
+
+    def test_rdmsr_all_returns_one_value_per_cpu(self, regfile):
+        values = rdmsr_all(regfile, MSR.IA32_PERF_CTL)
+        assert len(values) == 24
+
+    def test_wrmsr_all_writes_every_cpu(self, regfile):
+        wrmsr_all(regfile, MSR.IA32_PERF_CTL, 0x1400)
+        assert all(v == 0x1400 for v in rdmsr_all(regfile, MSR.IA32_PERF_CTL))

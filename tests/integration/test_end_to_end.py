@@ -1,0 +1,157 @@
+"""End-to-end integration tests across the full stack.
+
+These exercise the complete paper workflow on single benchmarks:
+pre-processing → plugin tuning → TMM → RRL production run → accounting,
+checking cross-layer invariants rather than per-module behaviour.
+"""
+
+import numpy as np
+import pytest
+
+from repro import config
+from repro.execution.simulator import ExecutionSimulator
+from repro.execution.slurm import SlurmAccounting
+from repro.hardware.cluster import Cluster
+from repro.modeling.dataset import build_dataset
+from repro.modeling.training import TrainingConfig, train_network
+from repro.ptf.framework import PeriscopeTuningFramework
+from repro.readex.rrl import RRL
+from repro.readex.tuning_model import TuningModel
+from repro.scorep.hdeem_plugin import HdeemMetricPlugin
+from repro.scorep.papi_plugin import PapiMetricPlugin
+from repro.scorep.trace import TraceCollector
+from repro.tools.otf2_parser import parse_trace
+from repro.tools.sacct import format_sacct_output
+from repro.workloads import registry
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return Cluster(4)
+
+
+@pytest.fixture(scope="module")
+def model():
+    ds = build_dataset(
+        ("EP", "CG", "BT", "MG", "XSBench", "miniFE", "FT", "Blasbench"),
+        thread_counts=(12, 24),
+    )
+    return train_network(ds.features, ds.targets, config=TrainingConfig(epochs=10))
+
+
+@pytest.fixture(scope="module")
+def outcome(cluster, model):
+    return PeriscopeTuningFramework(cluster, model).tune("Lulesh")
+
+
+class TestFullWorkflow:
+    def test_dta_produces_complete_artifacts(self, outcome):
+        assert len(outcome.readex_config.significant_regions) == 5
+        assert outcome.instrumentation.filtered  # something got filtered
+        assert outcome.tuning_model.scenarios
+        assert outcome.plugin_result.tuning_time_s > 0
+
+    def test_tmm_roundtrip_preserves_rrl_behaviour(self, outcome, cluster, tmp_path):
+        path = outcome.tuning_model.save(tmp_path / "tmm.json")
+        reloaded = TuningModel.load(path)
+        app = registry.build("Lulesh")
+        a = ExecutionSimulator(cluster.fresh_node(2)).run(
+            registry.build("Lulesh"), controller=RRL(outcome.tuning_model),
+            instrumented=True,
+        )
+        b = ExecutionSimulator(cluster.fresh_node(2)).run(
+            registry.build("Lulesh"), controller=RRL(reloaded),
+            instrumented=True,
+        )
+        assert a.time_s == b.time_s
+        assert a.node_energy_j == b.node_energy_j
+
+    def test_dynamic_run_saves_cpu_energy(self, outcome, cluster):
+        default = ExecutionSimulator(cluster.fresh_node(3)).run(
+            registry.build("Lulesh")
+        )
+        tuned = ExecutionSimulator(cluster.fresh_node(3)).run(
+            registry.build("Lulesh"),
+            controller=RRL(outcome.tuning_model),
+            instrumented=True,
+            instrumentation=outcome.instrumentation,
+        )
+        assert tuned.cpu_energy_j < default.cpu_energy_j
+
+    def test_accounting_chain(self, outcome, cluster):
+        """RunResult -> JobRecord -> sacct text, consistent energies."""
+        run = ExecutionSimulator(cluster.fresh_node(1)).run(
+            registry.build("Lulesh"),
+            controller=RRL(outcome.tuning_model),
+            instrumented=True,
+            instrumentation=outcome.instrumentation,
+        )
+        acct = SlurmAccounting()
+        record = acct.submit(run)
+        text = format_sacct_output(acct, job_id=record.job_id)
+        assert f"{run.node_energy_j:.2f}" in text
+
+    def test_trace_pipeline_consistent_with_run(self, outcome, cluster):
+        """Trace-derived energy matches the run's accounting."""
+        collector = TraceCollector(
+            "Lulesh",
+            metric_plugins=(HdeemMetricPlugin(), PapiMetricPlugin(("LD_INS",))),
+        )
+        run = ExecutionSimulator(cluster.fresh_node(1)).run(
+            registry.build("Lulesh"),
+            listeners=(collector,),
+            instrumentation=outcome.instrumentation,
+            collect_counters=True,
+        )
+        report = parse_trace(collector.trace())
+        assert report.total_energy_j == pytest.approx(run.node_energy_j, rel=0.02)
+        assert report.num_phase_instances == 10
+
+
+class TestCrossLayerInvariants:
+    def test_energy_conservation_across_meters(self, cluster):
+        """Sum of region energies equals run energy equals sacct energy."""
+        run = ExecutionSimulator(cluster.fresh_node(0)).run(registry.build("FT"))
+        phase_energy = sum(
+            i.node_energy_j for i in run.instances if i.region_name == "phase"
+        )
+        assert phase_energy == pytest.approx(run.node_energy_j, rel=1e-9)
+
+    def test_rapl_consistent_with_ground_truth_power(self, cluster):
+        """RAPL-measured CPU energy stays below node energy and above the
+        core-power floor."""
+        run = ExecutionSimulator(cluster.fresh_node(0)).run(registry.build("BT"))
+        assert 0.3 * run.node_energy_j < run.cpu_energy_j < 0.8 * run.node_energy_j
+
+    def test_normalized_energy_node_independent(self, cluster):
+        """E_norm computed on two different nodes agrees (the property
+        that makes cross-node training data usable)."""
+        def normalized(node_id):
+            app = registry.build("MG")
+            node = cluster.fresh_node(node_id)
+            node.set_frequencies(2.5, 1.5)
+            high = ExecutionSimulator(node).run(app, run_key=("n", 1)).node_energy_j
+            node = cluster.fresh_node(node_id)
+            node.set_frequencies(
+                config.CALIBRATION_CORE_FREQ_GHZ,
+                config.CALIBRATION_UNCORE_FREQ_GHZ,
+            )
+            cal = ExecutionSimulator(node).run(app, run_key=("n", 2)).node_energy_j
+            return high / cal
+
+        a, b = normalized(0), normalized(1)
+        assert a == pytest.approx(b, rel=0.03)
+
+    def test_switching_overhead_scales_with_regions(self, cluster, outcome):
+        """More instrumented significant regions -> more switch latency."""
+        app = registry.build("Lulesh")
+        run = ExecutionSimulator(cluster.fresh_node(0)).run(
+            app, controller=RRL(outcome.tuning_model), instrumented=True
+        )
+        n_switch_opportunities = app.phase_iterations * (
+            len(app.phase.children) + 1
+        )
+        max_latency = n_switch_opportunities * (
+            config.DVFS_TRANSITION_LATENCY_S + config.UFS_TRANSITION_LATENCY_S
+        )
+        assert 0 < run.switching_time_s <= max_latency

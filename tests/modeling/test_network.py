@@ -1,0 +1,154 @@
+"""Tests for the from-scratch neural network (Figure 4 architecture)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ModelError
+from repro.modeling.adam import Adam
+from repro.modeling.layers import Dense, ReLU
+from repro.modeling.loss import mse, mse_gradient
+from repro.modeling.network import EnergyNetwork
+from repro.modeling.training import TrainingConfig, train_network
+
+
+class TestLayers:
+    def test_dense_forward_shape(self):
+        layer = Dense(9, 5)
+        out = layer.forward(np.ones((7, 9)))
+        assert out.shape == (7, 5)
+
+    def test_dense_he_initialisation_statistics(self):
+        layer = Dense(1000, 500)
+        assert abs(float(layer.weights.mean())) < 0.01
+        assert float(layer.weights.std()) == pytest.approx(
+            np.sqrt(2.0 / 1000), rel=0.05
+        )
+        assert np.all(layer.bias == 0.0)
+
+    def test_dense_gradient_check(self):
+        """Backprop gradient matches numerical finite differences."""
+        rng = np.random.default_rng(0)
+        layer = Dense(4, 3, rng=rng)
+        x = rng.standard_normal((5, 4))
+        target = rng.standard_normal((5, 3))
+        pred = layer.forward(x)
+        layer.backward(mse_gradient(pred, target))
+        analytic = layer.grad_weights.copy()
+        eps = 1e-6
+        for i, j in [(0, 0), (2, 1), (3, 2)]:
+            layer.weights[i, j] += eps
+            up = mse(layer.forward(x), target)
+            layer.weights[i, j] -= 2 * eps
+            down = mse(layer.forward(x), target)
+            layer.weights[i, j] += eps
+            numeric = (up - down) / (2 * eps)
+            assert analytic[i, j] == pytest.approx(numeric, rel=1e-4, abs=1e-8)
+
+    def test_relu_masks_negatives(self):
+        relu = ReLU()
+        out = relu.forward(np.array([[-1.0, 0.0, 2.0]]))
+        assert out.tolist() == [[0.0, 0.0, 2.0]]
+        grad = relu.backward(np.array([[1.0, 1.0, 1.0]]))
+        assert grad.tolist() == [[0.0, 0.0, 1.0]]
+
+    def test_backward_before_forward_rejected(self):
+        with pytest.raises(ModelError):
+            Dense(2, 2).backward(np.ones((1, 2)))
+
+
+class TestNetworkArchitecture:
+    def test_paper_architecture(self):
+        """Fig. 4: 9 inputs, two hidden layers of 5 neurons, 1 output."""
+        net = EnergyNetwork()
+        dense = [l for l in net.layers if isinstance(l, Dense)]
+        relu = [l for l in net.layers if isinstance(l, ReLU)]
+        assert [(d.weights.shape) for d in dense] == [(9, 5), (5, 5), (5, 1)]
+        assert len(relu) == 2
+
+    def test_parameter_count(self):
+        net = EnergyNetwork()
+        n_params = sum(p.size for p in net.parameters)
+        assert n_params == 9 * 5 + 5 + 5 * 5 + 5 + 5 * 1 + 1  # 91
+
+    def test_predict_shape(self):
+        net = EnergyNetwork()
+        assert net.predict(np.ones((4, 9))).shape == (4,)
+
+    def test_wrong_input_width_rejected(self):
+        net = EnergyNetwork()
+        with pytest.raises(ModelError):
+            net.forward(np.ones((2, 7)))
+
+    def test_weight_roundtrip(self):
+        net = EnergyNetwork(seed=1)
+        clone = EnergyNetwork.from_dict(net.to_dict())
+        x = np.random.default_rng(0).standard_normal((3, 9))
+        assert np.allclose(net.predict(x), clone.predict(x))
+
+    def test_weight_shape_mismatch_rejected(self):
+        net = EnergyNetwork()
+        bad = [np.zeros((2, 2))] * len(net.parameters)
+        with pytest.raises(ModelError):
+            net.set_weights(bad)
+
+
+class TestAdam:
+    def test_minimises_quadratic(self):
+        w = np.array([5.0, -3.0])
+        opt = Adam([w], learning_rate=0.1)
+        for _ in range(500):
+            opt.step([2 * w])  # d/dw ||w||^2
+        assert np.all(np.abs(w) < 1e-2)
+
+    def test_invalid_learning_rate_rejected(self):
+        with pytest.raises(ModelError):
+            Adam([np.zeros(1)], learning_rate=0)
+
+    def test_gradient_count_mismatch_rejected(self):
+        opt = Adam([np.zeros(2)])
+        with pytest.raises(ModelError):
+            opt.step([np.zeros(2), np.zeros(2)])
+
+
+class TestTraining:
+    def test_learns_smooth_function(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-1, 1, size=(600, 9))
+        y = 1.0 + 0.3 * x[:, 0] - 0.2 * x[:, 1] ** 2 + 0.1 * x[:, 7]
+        model = train_network(x, y, config=TrainingConfig(epochs=25, seed=2))
+        pred = model.predict(x)
+        rel = np.mean(np.abs(pred - y) / np.abs(y))
+        assert rel < 0.08
+
+    def test_loss_decreases(self):
+        rng = np.random.default_rng(3)
+        x = rng.uniform(-1, 1, size=(400, 9))
+        y = 1.0 + 0.5 * x[:, 0]
+        model = train_network(x, y, config=TrainingConfig(epochs=5))
+        assert model.losses[-1] < model.losses[0]
+
+    def test_training_is_deterministic(self):
+        rng = np.random.default_rng(4)
+        x = rng.uniform(-1, 1, size=(100, 9))
+        y = x[:, 0]
+        a = train_network(x, y, config=TrainingConfig(epochs=2, seed=7))
+        b = train_network(x, y, config=TrainingConfig(epochs=2, seed=7))
+        assert np.allclose(a.predict(x), b.predict(x))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ModelError):
+            train_network(np.ones((4, 9)), np.ones(5))
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ModelError):
+            TrainingConfig(epochs=0)
+        with pytest.raises(ModelError):
+            TrainingConfig(learning_rate=-1)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=1, max_value=100))
+    def test_prediction_finite_for_any_seed(self, seed):
+        net = EnergyNetwork(seed=seed)
+        x = np.random.default_rng(seed).standard_normal((5, 9))
+        assert np.all(np.isfinite(net.predict(x)))

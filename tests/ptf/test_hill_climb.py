@@ -1,0 +1,85 @@
+"""Tests for the hill-climbing verification extension."""
+
+import pytest
+
+from repro.errors import TuningError
+from repro.ptf.search import hill_climb, neighborhood
+
+
+def quadratic_surface(optimum):
+    """Objective with a single minimum at ``optimum``."""
+
+    def evaluate(points):
+        return {
+            p: (p[0] - optimum[0]) ** 2 + (p[1] - optimum[1]) ** 2
+            for p in points
+        }
+
+    return evaluate
+
+
+class TestHillClimb:
+    def test_converges_to_adjacent_optimum_in_one_step(self):
+        best, n = hill_climb((2.0, 2.0), quadratic_surface((2.1, 2.1)), max_steps=1)
+        assert best == (2.1, 2.1)
+        assert n <= 9
+
+    def test_recovers_from_multi_step_error(self):
+        """The paper's single round cannot reach an optimum two steps
+        away; the extension can."""
+        single, _ = hill_climb((2.0, 2.0), quadratic_surface((2.3, 1.7)), max_steps=1)
+        multi, n = hill_climb((2.0, 2.0), quadratic_surface((2.3, 1.7)), max_steps=4)
+        assert single != (2.3, 1.7)
+        assert multi == (2.3, 1.7)
+        assert n < 14 * 18  # still far below exhaustive
+
+    def test_stops_early_at_interior_minimum(self):
+        best, n = hill_climb((2.0, 2.0), quadratic_surface((2.0, 2.0)), max_steps=5)
+        assert best == (2.0, 2.0)
+        assert n == 9  # one neighborhood, then convergence
+
+    def test_does_not_reevaluate_points(self):
+        calls = []
+
+        def evaluate(points):
+            calls.extend(points)
+            return quadratic_surface((2.5, 3.0))(points)
+
+        hill_climb((2.3, 2.8), evaluate, max_steps=4)
+        assert len(calls) == len(set(calls))
+
+    def test_respects_grid_bounds(self):
+        best, _ = hill_climb((1.3, 1.4), quadratic_surface((0.0, 0.0)), max_steps=10)
+        assert best == (1.2, 1.3)  # clamped at the platform minimum
+
+    def test_invalid_steps_rejected(self):
+        with pytest.raises(TuningError):
+            hill_climb((2.0, 2.0), quadratic_surface((2.0, 2.0)), max_steps=0)
+
+
+class TestPluginIntegration:
+    def test_extension_finds_at_least_as_good_configs(self):
+        """With more climb steps the verified phase configuration's
+        measured energy can only improve."""
+        from repro.hardware.cluster import Cluster
+        from repro.modeling.dataset import build_dataset
+        from repro.modeling.training import TrainingConfig, train_network
+        from repro.ptf.framework import PeriscopeTuningFramework
+
+        ds = build_dataset(("EP", "CG", "BT", "XSBench"), thread_counts=(24,))
+        model = train_network(
+            ds.features, ds.targets, config=TrainingConfig(epochs=8)
+        )
+        cluster = Cluster(4)
+        paper = PeriscopeTuningFramework(cluster, model).tune("Lulesh")
+        extended = PeriscopeTuningFramework(
+            cluster, model, hill_climb_steps=3
+        ).tune("Lulesh")
+        assert (
+            extended.plugin_result.experiments_performed
+            >= paper.plugin_result.experiments_performed
+        )
+        # Both must deliver valid tuned configurations for all regions.
+        assert set(extended.plugin_result.region_configurations) == set(
+            paper.plugin_result.region_configurations
+        )

@@ -1,0 +1,65 @@
+"""Tuning under alternative objectives (EDP/ED2P — Section VI outlook).
+
+The experiments engine scalarises measurements through the context's
+objective, so the same plugin machinery tunes for energy-delay products;
+these tests check the qualitative consequence: delay-weighted objectives
+pull the optimum toward higher frequencies.
+"""
+
+import pytest
+
+from repro.execution.simulator import OperatingPoint
+from repro.hardware.cluster import Cluster
+from repro.ptf.experiments import ExperimentsEngine
+from repro.ptf.objectives import ED2P, EDP, ENERGY
+from repro.workloads import registry
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    """Mcb phase measurements across a CF sweep at high UCF."""
+    engine = ExperimentsEngine(Cluster(2))
+    points = [OperatingPoint(cf, 2.5, 20) for cf in (1.2, 1.6, 2.0, 2.5)]
+    return engine.evaluate_configurations(registry.build("Mcb"), points)
+
+
+def argmin_under(measurements, objective):
+    best_point, best_value = None, float("inf")
+    for point, regions in measurements.items():
+        m = regions["phase"]
+        value = objective(m.node_energy_j, m.time_s)
+        if value < best_value:
+            best_point, best_value = point, value
+    return best_point
+
+
+class TestObjectiveTuning:
+    def test_energy_prefers_lower_cf_than_edp(self, measurements):
+        energy_best = argmin_under(measurements, ENERGY)
+        edp_best = argmin_under(measurements, EDP)
+        assert edp_best.core_freq_ghz >= energy_best.core_freq_ghz
+
+    def test_ed2p_prefers_highest_cf_of_the_three(self, measurements):
+        """ED2P weights delay quadratically: for a memory-bound code the
+        time penalty of low CF dominates, pushing toward max frequency."""
+        edp_best = argmin_under(measurements, EDP)
+        ed2p_best = argmin_under(measurements, ED2P)
+        assert ed2p_best.core_freq_ghz >= edp_best.core_freq_ghz
+
+    def test_objectives_disagree_somewhere(self, measurements):
+        """Energy and ED2P cannot both pick the lowest frequency."""
+        energy_best = argmin_under(measurements, ENERGY)
+        ed2p_best = argmin_under(measurements, ED2P)
+        assert (
+            energy_best.core_freq_ghz < 2.5
+            or ed2p_best.core_freq_ghz == 2.5
+        )
+
+    def test_plugin_accepts_objective_name(self):
+        """The tuning context threads objective names to the plugin."""
+        from repro.errors import TuningError
+        from repro.ptf.objectives import get_objective
+
+        assert get_objective("edp") is EDP
+        with pytest.raises(TuningError):
+            get_objective("watts")

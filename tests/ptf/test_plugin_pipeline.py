@@ -1,0 +1,202 @@
+"""Tests for the experiments engine, the energy plugin and the framework.
+
+A small model trained on a reduced dataset is shared module-wide; the
+assertions check workflow structure and qualitative optima, not exact
+frequencies (those are benchmark territory).
+"""
+
+import numpy as np
+import pytest
+
+from repro import config
+from repro.errors import TuningError
+from repro.execution.simulator import ExecutionSimulator, OperatingPoint
+from repro.hardware.cluster import Cluster
+from repro.modeling.dataset import build_dataset
+from repro.modeling.training import TrainingConfig, train_network
+from repro.ptf.energy_plugin import EnergyTuningPlugin
+from repro.ptf.exhaustive_plugin import (
+    ExhaustiveRegionTuner,
+    estimate_tuning_time,
+)
+from repro.ptf.experiments import ExperimentsEngine
+from repro.ptf.framework import PeriscopeTuningFramework
+from repro.ptf.static_tuning import exhaustive_static_search
+from repro.readex.rrl import RRL
+from repro.workloads import registry
+
+
+@pytest.fixture(scope="module")
+def trained_model():
+    ds = build_dataset(
+        ("EP", "CG", "BT", "XSBench", "FT", "MG", "miniFE", "Blasbench"),
+        thread_counts=(12, 24),
+    )
+    return train_network(ds.features, ds.targets, config=TrainingConfig(epochs=8))
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return Cluster(4)
+
+
+@pytest.fixture(scope="module")
+def lulesh_outcome(trained_model, cluster):
+    return PeriscopeTuningFramework(cluster, trained_model).tune("Lulesh")
+
+
+@pytest.fixture(scope="module")
+def mcb_outcome(trained_model, cluster):
+    return PeriscopeTuningFramework(cluster, trained_model).tune("Mcb")
+
+
+class TestExperimentsEngine:
+    def test_one_config_per_phase_iteration(self, cluster):
+        app = registry.build("EP")
+        engine = ExperimentsEngine(cluster)
+        points = [
+            OperatingPoint(cf, 1.5, 24) for cf in (1.2, 1.6, 2.0, 2.4)
+        ]
+        measured = engine.evaluate_configurations(app, points)
+        assert engine.application_runs == 1  # 4 configs fit in 5 iterations
+        assert set(measured) == set(points)
+
+    def test_many_configs_chunk_across_runs(self, cluster):
+        app = registry.build("EP")  # 5 phase iterations
+        engine = ExperimentsEngine(cluster)
+        points = [OperatingPoint(cf, 1.5, 24) for cf in config.CORE_FREQUENCIES_GHZ]
+        engine.evaluate_configurations(app, points)
+        assert engine.application_runs == 3  # ceil(14 / 5)
+
+    def test_measurements_reflect_configuration(self, cluster):
+        app = registry.build("EP")
+        engine = ExperimentsEngine(cluster)
+        slow = OperatingPoint(1.2, 1.5, 24)
+        fast = OperatingPoint(2.5, 1.5, 24)
+        measured = engine.evaluate_configurations(app, [slow, fast])
+        assert (
+            measured[slow]["gaussian_pairs"].time_s
+            > measured[fast]["gaussian_pairs"].time_s
+        )
+
+    def test_empty_configurations_rejected(self, cluster):
+        with pytest.raises(TuningError):
+            ExperimentsEngine(cluster).evaluate_configurations(
+                registry.build("EP"), []
+            )
+
+
+class TestEnergyPlugin:
+    def test_plugin_requires_initialisation(self, trained_model):
+        plugin = EnergyTuningPlugin(trained_model)
+        with pytest.raises(TuningError):
+            plugin.run_tuning_steps()
+        with pytest.raises(TuningError):
+            plugin.result
+
+    def test_lulesh_thread_optimum(self, lulesh_outcome):
+        assert lulesh_outcome.plugin_result.phase_threads == 24
+
+    def test_mcb_thread_optimum(self, mcb_outcome):
+        """Memory-bound code prefers fewer than the maximum threads.
+
+        The paper finds 20; at the calibration point our physics puts the
+        optimum at 16/20 (one step) — the qualitative interior optimum is
+        what matters.
+        """
+        assert mcb_outcome.plugin_result.phase_threads in (16, 20)
+
+    def test_prediction_grid_covers_all_frequencies(self, lulesh_outcome):
+        grid = lulesh_outcome.plugin_result.predicted_grid
+        assert len(grid) == 14 * 18
+
+    def test_lulesh_is_compute_bound_shape(self, lulesh_outcome):
+        """High CF, low-mid UCF (Figure 6 trend)."""
+        cf, ucf = lulesh_outcome.plugin_result.global_frequencies
+        assert cf >= 2.0
+        assert ucf <= 2.2
+
+    def test_mcb_is_memory_bound_shape(self, mcb_outcome):
+        """Low CF, high UCF (Figure 7 trend)."""
+        cf, ucf = mcb_outcome.plugin_result.global_frequencies
+        assert cf <= 2.0
+        assert ucf >= 1.7
+        # The prediction must separate Mcb from a compute-bound shape:
+        # UCF above CF-normalised midpoint, unlike Lulesh's low-UCF pick.
+        grid = mcb_outcome.plugin_result.predicted_grid
+        assert grid[(1.6, 2.5)] < grid[(2.5, 1.3)]
+
+    def test_all_significant_regions_tuned(self, lulesh_outcome):
+        configs = lulesh_outcome.plugin_result.region_configurations
+        assert sorted(configs) == sorted(
+            lulesh_outcome.readex_config.significant_names
+        )
+
+    def test_tuning_model_has_scenarios(self, lulesh_outcome):
+        tmm = lulesh_outcome.tuning_model
+        assert 1 <= len(tmm.scenarios) <= 6
+        assert tmm.configuration_for("CalcQForElems") is not None
+
+    def test_search_space_reduction(self, lulesh_outcome):
+        """Experiments stay at (k + 9), far below the full product."""
+        r = lulesh_outcome.plugin_result
+        k = len(config.OPENMP_THREAD_CANDIDATES)
+        assert r.experiments_performed <= k + 9
+        assert r.experiments_performed < 14 * 18
+
+    def test_region_configs_within_neighborhood(self, lulesh_outcome):
+        r = lulesh_outcome.plugin_result
+        gcf, gucf = r.global_frequencies
+        for cfg in r.region_configurations.values():
+            assert abs(cfg.core_freq_ghz - gcf) <= config.FREQ_STEP_GHZ + 1e-9
+            assert abs(cfg.uncore_freq_ghz - gucf) <= config.FREQ_STEP_GHZ + 1e-9
+
+
+class TestRRLIntegration:
+    def test_tuned_run_saves_energy(self, mcb_outcome, cluster):
+        app = registry.build("Mcb")
+        default = ExecutionSimulator(cluster.fresh_node(1)).run(app)
+        rrl = RRL(mcb_outcome.tuning_model)
+        tuned = ExecutionSimulator(cluster.fresh_node(1)).run(
+            app, controller=rrl, instrumented=True
+        )
+        assert tuned.node_energy_j < default.node_energy_j
+        assert tuned.cpu_energy_j < default.cpu_energy_j
+
+
+class TestStaticTuning:
+    def test_static_search_finds_savings(self, cluster):
+        app = registry.build("Mcb")
+        result = exhaustive_static_search(app, cluster, stride=3)
+        assert result.energy_saving > 0.05
+        assert result.best.core_freq_ghz < config.DEFAULT_CORE_FREQ_GHZ
+
+    def test_default_config_always_evaluated(self, cluster):
+        app = registry.build("EP")
+        result = exhaustive_static_search(
+            app, cluster, stride=4, thread_counts=(24,)
+        )
+        assert result.default_energy_j > 0
+
+    def test_bad_stride_rejected(self, cluster):
+        with pytest.raises(TuningError):
+            exhaustive_static_search(registry.build("EP"), cluster, stride=0)
+
+
+class TestExhaustiveBaseline:
+    def test_tuning_time_formula(self):
+        app = registry.build("Mcb")
+        est = estimate_tuning_time(app, 60.0, num_regions=5)
+        assert est.exhaustive_runs == 5 * 4 * 14 * 18
+        assert est.model_based_experiments == 4 + 1 + 9
+        assert est.speedup > 100
+
+    def test_exhaustive_tuner_agrees_with_boundedness(self, cluster):
+        app = registry.build("Mcb")
+        tuner = ExhaustiveRegionTuner(cluster)
+        best, engine = tuner.tune(
+            app, stride=4, thread_counts=(20,), regions=("advPhoton",)
+        )
+        cfg = best["advPhoton"]
+        assert cfg.core_freq_ghz <= 2.0  # memory bound: low CF
+        assert engine.experiments_performed > 9

@@ -1,0 +1,90 @@
+"""Tests for search spaces, neighborhoods and objectives."""
+
+import pytest
+
+from repro import config
+from repro.errors import TuningError
+from repro.ptf.objectives import ED2P, EDP, ENERGY, get_objective, tco_objective
+from repro.ptf.plugin import TuningParameter
+from repro.ptf.search import SearchSpace, frequency_space, neighborhood
+
+
+class TestTuningParameter:
+    def test_empty_values_rejected(self):
+        with pytest.raises(TuningError):
+            TuningParameter("x", ())
+
+    def test_duplicate_values_rejected(self):
+        with pytest.raises(TuningError):
+            TuningParameter("x", (1, 1))
+
+    def test_len(self):
+        assert len(TuningParameter("x", (1, 2, 3))) == 3
+
+
+class TestSearchSpace:
+    def test_size_is_product(self):
+        space = SearchSpace(
+            (TuningParameter("a", (1, 2)), TuningParameter("b", (1, 2, 3)))
+        )
+        assert space.size == 6
+        assert len(space.points()) == 6
+
+    def test_frequency_space_matches_platform(self):
+        assert frequency_space().size == 14 * 18
+
+    def test_duplicate_parameter_names_rejected(self):
+        with pytest.raises(TuningError):
+            SearchSpace((TuningParameter("a", (1,)), TuningParameter("a", (2,))))
+
+    def test_points_cover_all_combinations(self):
+        space = SearchSpace((TuningParameter("a", (1, 2)),))
+        assert space.points() == [{"a": 1}, {"a": 2}]
+
+
+class TestNeighborhood:
+    def test_interior_point_has_nine_neighbors(self):
+        assert len(neighborhood(2.0, 2.0)) == 9
+
+    def test_corner_point_has_four_neighbors(self):
+        assert len(neighborhood(1.2, 1.3)) == 4
+        assert len(neighborhood(2.5, 3.0)) == 4
+
+    def test_edge_point_has_six_neighbors(self):
+        assert len(neighborhood(1.2, 2.0)) == 6
+
+    def test_neighbors_within_one_step(self):
+        for cf, ucf in neighborhood(2.0, 2.0):
+            assert abs(cf - 2.0) <= config.FREQ_STEP_GHZ + 1e-9
+            assert abs(ucf - 2.0) <= config.FREQ_STEP_GHZ + 1e-9
+
+    def test_off_grid_point_rejected(self):
+        with pytest.raises(TuningError):
+            neighborhood(2.05, 2.0)
+
+
+class TestObjectives:
+    def test_energy_ignores_time(self):
+        assert ENERGY(100.0, 5.0) == 100.0
+
+    def test_edp_and_ed2p(self):
+        assert EDP(100.0, 2.0) == 200.0
+        assert ED2P(100.0, 2.0) == 400.0
+
+    def test_edp_prefers_faster_at_equal_energy(self):
+        assert EDP(100.0, 1.0) < EDP(100.0, 2.0)
+
+    def test_tco_combines_costs(self):
+        tco = tco_objective(energy_price_per_joule=2.0, machine_cost_per_second=10.0)
+        assert tco(5.0, 3.0) == 5.0 * 2 + 3.0 * 10
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(TuningError):
+            ENERGY(-1.0, 1.0)
+
+    def test_unknown_objective_rejected(self):
+        with pytest.raises(TuningError):
+            get_objective("speed")
+
+    def test_lookup(self):
+        assert get_objective("edp") is EDP

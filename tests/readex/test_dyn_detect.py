@@ -1,0 +1,91 @@
+"""Tests for readex-dyn-detect and the READEX config file."""
+
+import pytest
+
+from repro import config
+from repro.errors import WorkloadError
+from repro.execution.simulator import ExecutionSimulator
+from repro.hardware.node import ComputeNode
+from repro.readex.config_file import ReadexConfig
+from repro.readex.dyn_detect import readex_dyn_detect
+from repro.scorep.profile import ProfileCollector
+from repro.workloads import registry
+
+
+def detect(name: str) -> ReadexConfig:
+    app = registry.build(name)
+    node = ComputeNode(0)
+    node.set_frequencies(
+        config.CALIBRATION_CORE_FREQ_GHZ, config.CALIBRATION_UNCORE_FREQ_GHZ
+    )
+    collector = ProfileCollector(app.name)
+    ExecutionSimulator(node).run(app, listeners=(collector,))
+    return readex_dyn_detect(app, collector.profile())
+
+
+class TestDynDetect:
+    def test_lulesh_has_five_significant_regions(self):
+        cfg = detect("Lulesh")
+        assert sorted(cfg.significant_names) == sorted(
+            [
+                "IntegrateStressForElems",
+                "CalcFBHourglassForceForElems",
+                "CalcKinematicsForElems",
+                "CalcQForElems",
+                "ApplyMaterialPropertiesForElems",
+            ]
+        )
+
+    def test_mcb_has_five_significant_regions(self):
+        cfg = detect("Mcb")
+        assert sorted(cfg.significant_names) == sorted(
+            ["setupDT", "advPhoton", "omp parallel:423",
+             "omp parallel:501", "omp parallel:642"]
+        )
+
+    def test_tiny_regions_not_significant(self):
+        cfg = detect("Lulesh")
+        assert "CalcTimeConstraintsForElems" not in cfg.significant_names
+
+    def test_all_significant_regions_exceed_threshold(self):
+        for name in registry.TEST_BENCHMARKS:
+            cfg = detect(name)
+            assert cfg.significant_regions, name
+            for region in cfg.significant_regions:
+                assert region.mean_time_s > config.SIGNIFICANT_REGION_THRESHOLD_S
+
+    def test_phase_iterations_recorded(self):
+        app = registry.build("Lulesh")
+        cfg = detect("Lulesh")
+        assert cfg.phase_iterations == app.phase_iterations
+
+    def test_bad_threshold_rejected(self):
+        app = registry.build("EP")
+        collector = ProfileCollector(app.name)
+        ExecutionSimulator(ComputeNode(0)).run(app, listeners=(collector,))
+        with pytest.raises(WorkloadError):
+            readex_dyn_detect(app, collector.profile(), threshold_s=-1)
+
+
+class TestConfigFile:
+    def test_json_roundtrip(self, tmp_path):
+        cfg = detect("Lulesh")
+        path = cfg.save(tmp_path / "readex_config.json")
+        clone = ReadexConfig.load(path)
+        assert clone.significant_names == cfg.significant_names
+        assert clone.thread_lower_bound == cfg.thread_lower_bound
+        assert clone.phase_region == cfg.phase_region
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(WorkloadError):
+            ReadexConfig.from_json('{"application": "x"}')
+
+    def test_thread_bounds_validated(self):
+        with pytest.raises(WorkloadError):
+            ReadexConfig(
+                app_name="x",
+                phase_region="phase",
+                phase_iterations=1,
+                significant_regions=(),
+                thread_lower_bound=0,
+            )

@@ -1,0 +1,138 @@
+"""Tests for instrumentation, profiling and the autofilter workflow."""
+
+import pytest
+
+from repro import config
+from repro.errors import InstrumentationError
+from repro.execution.simulator import ExecutionSimulator
+from repro.hardware.node import ComputeNode
+from repro.scorep.filtering import (
+    FilterFile,
+    apply_compile_time_filter,
+    scorep_autofilter,
+)
+from repro.scorep.instrumentation import Instrumentation
+from repro.scorep.macros import annotate_phase
+from repro.scorep.profile import CallTreeProfile, ProfileCollector
+from repro.workloads import registry
+from repro.workloads.region import Region, RegionKind
+
+
+def profile_run(app, instrumentation=None):
+    collector = ProfileCollector(app.name)
+    sim = ExecutionSimulator(ComputeNode(0))
+    sim.run(app, listeners=(collector,), instrumentation=instrumentation)
+    return collector.profile()
+
+
+class TestInstrumentation:
+    def test_compiler_default_instruments_everything(self):
+        app = registry.build("Lulesh")
+        instr = Instrumentation.compiler_default(app)
+        assert all(instr.is_instrumented(r) for r in app.regions)
+
+    def test_filter_removes_function_probes(self):
+        app = registry.build("Lulesh")
+        instr = Instrumentation.compiler_default(app)
+        filtered = instr.apply_filter({"CalcTimeConstraintsForElems"})
+        region = app.find_region("CalcTimeConstraintsForElems")
+        assert not filtered.is_instrumented(region)
+
+    def test_omp_regions_cannot_be_filtered(self):
+        app = registry.build("Mcb")
+        instr = Instrumentation.compiler_default(app)
+        with pytest.raises(InstrumentationError):
+            instr.apply_filter({"omp parallel:423"})
+
+    def test_phase_region_cannot_be_filtered(self):
+        app = registry.build("EP")
+        instr = Instrumentation.compiler_default(app)
+        with pytest.raises(InstrumentationError):
+            instr.apply_filter({"phase"})
+
+
+class TestProfileCollector:
+    def test_profile_structure_mirrors_region_tree(self):
+        app = registry.build("Lulesh")
+        profile = profile_run(app)
+        phase = profile.node("phase")
+        assert phase.visits == app.phase_iterations
+        assert "IntegrateStressForElems" in phase.children
+
+    def test_mean_time_positive(self):
+        app = registry.build("EP")
+        profile = profile_run(app)
+        assert profile.node("gaussian_pairs").mean_time_s > 0
+
+    def test_profile_roundtrip_through_dict(self):
+        app = registry.build("EP")
+        profile = profile_run(app)
+        clone = CallTreeProfile.from_dict(profile.to_dict())
+        assert clone.region_names() == profile.region_names()
+        assert clone.node("phase").inclusive_time_s == pytest.approx(
+            profile.node("phase").inclusive_time_s
+        )
+
+    def test_unknown_region_lookup_fails(self):
+        app = registry.build("EP")
+        profile = profile_run(app)
+        with pytest.raises(InstrumentationError):
+            profile.node("nope")
+
+
+class TestAutofilter:
+    def test_tiny_regions_get_filtered(self):
+        app = registry.build("Lulesh")
+        instr = Instrumentation.compiler_default(app)
+        profile = profile_run(app, instr)
+        ff = scorep_autofilter(profile, instr)
+        assert "CalcTimeConstraintsForElems" in ff.excluded
+        assert "LagrangeNodal_misc" in ff.excluded
+
+    def test_significant_regions_survive(self):
+        app = registry.build("Lulesh")
+        instr = Instrumentation.compiler_default(app)
+        ff = scorep_autofilter(profile_run(app, instr), instr)
+        assert "IntegrateStressForElems" not in ff.excluded
+        assert "phase" not in ff.excluded
+
+    def test_compile_time_filter_reduces_overhead(self):
+        app = registry.build("Lulesh")
+        instr = Instrumentation.compiler_default(app)
+        ff = scorep_autofilter(profile_run(app, instr), instr)
+        filtered = apply_compile_time_filter(instr, ff)
+
+        full = ExecutionSimulator(ComputeNode(0)).run(app, instrumentation=instr)
+        trimmed = ExecutionSimulator(ComputeNode(0)).run(
+            app, instrumentation=filtered
+        )
+        assert trimmed.instrumentation_time_s < full.instrumentation_time_s
+
+    def test_overhead_not_fully_removed(self):
+        """OpenMP/MPI wrapper events survive filtering (Section V-E)."""
+        app = registry.build("Mcb")
+        instr = Instrumentation.compiler_default(app)
+        ff = scorep_autofilter(profile_run(app, instr), instr)
+        filtered = apply_compile_time_filter(instr, ff)
+        run = ExecutionSimulator(ComputeNode(0)).run(app, instrumentation=filtered)
+        assert run.instrumentation_time_s > 0
+
+    def test_filter_file_roundtrip(self):
+        ff = FilterFile(excluded=("a", "b", "c"))
+        assert FilterFile.parse(ff.render()) == ff
+
+    def test_malformed_filter_file_rejected(self):
+        with pytest.raises(InstrumentationError):
+            FilterFile.parse("not a filter file")
+
+    def test_bad_threshold_rejected(self):
+        app = registry.build("EP")
+        instr = Instrumentation.compiler_default(app)
+        with pytest.raises(InstrumentationError):
+            scorep_autofilter(profile_run(app, instr), instr, threshold_s=0)
+
+
+class TestPhaseAnnotation:
+    def test_all_benchmarks_annotatable(self):
+        for name in registry.benchmark_names():
+            assert annotate_phase(registry.build(name)) == "phase"

@@ -1,0 +1,103 @@
+"""Tests for OTF2-style tracing and metric plugins."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.execution.simulator import ExecutionSimulator
+from repro.hardware.node import ComputeNode
+from repro.scorep.hdeem_plugin import HdeemMetricPlugin
+from repro.scorep.otf2 import read_trace, write_trace
+from repro.scorep.papi_plugin import PapiMetricPlugin
+from repro.scorep.trace import (
+    EnterRecord,
+    LeaveRecord,
+    Trace,
+    TraceCollector,
+)
+from repro.workloads import registry
+
+
+def trace_run(app, plugins=(), node=None):
+    collector = TraceCollector(app.name, metric_plugins=plugins)
+    sim = ExecutionSimulator(node or ComputeNode(0))
+    sim.run(app, listeners=(collector,), collect_counters=True)
+    return collector.trace()
+
+
+class TestTraceStructure:
+    def test_records_chronological_and_balanced(self):
+        trace = trace_run(registry.build("EP"))
+        trace.validate()  # should not raise
+
+    def test_enter_leave_counts_match(self):
+        app = registry.build("FT")
+        trace = trace_run(app)
+        assert len(trace.enters()) == len(trace.leaves())
+        assert len(trace.enters("phase")) == app.phase_iterations
+
+    def test_out_of_order_trace_rejected(self):
+        t = Trace(app_name="x")
+        t.records = [
+            EnterRecord(1.0, "a", 0),
+            LeaveRecord(0.5, "a", 0),
+        ]
+        with pytest.raises(TraceError, match="chronological"):
+            t.validate()
+
+    def test_unbalanced_trace_rejected(self):
+        t = Trace(app_name="x")
+        t.records = [EnterRecord(0.0, "a", 0), LeaveRecord(1.0, "b", 0)]
+        with pytest.raises(TraceError, match="unbalanced"):
+            t.validate()
+
+    def test_open_region_at_end_rejected(self):
+        t = Trace(app_name="x")
+        t.records = [EnterRecord(0.0, "a", 0)]
+        with pytest.raises(TraceError, match="open"):
+            t.validate()
+
+
+class TestMetricPlugins:
+    def test_hdeem_plugin_adds_energy_records(self):
+        trace = trace_run(registry.build("EP"), plugins=(HdeemMetricPlugin(),))
+        metrics = trace.metrics("gaussian_pairs")
+        assert metrics
+        assert all(m.values[HdeemMetricPlugin.ENERGY_KEY] > 0 for m in metrics)
+
+    def test_papi_plugin_respects_event_limit(self):
+        plugin = PapiMetricPlugin(("LD_INS", "SR_INS", "BR_MSP", "RES_STL"))
+        trace = trace_run(registry.build("EP"), plugins=(plugin,))
+        m = trace.metrics("gaussian_pairs")[0]
+        papi_keys = [k for k in m.values if k.startswith("papi::")]
+        assert sorted(papi_keys) == [
+            "papi::BR_MSP", "papi::LD_INS", "papi::RES_STL", "papi::SR_INS"
+        ]
+
+    def test_combined_plugins(self):
+        plugins = (PapiMetricPlugin(("LD_INS",)), HdeemMetricPlugin())
+        trace = trace_run(registry.build("EP"), plugins=plugins)
+        m = trace.metrics("gaussian_pairs")[0]
+        assert "papi::LD_INS" in m.values
+        assert HdeemMetricPlugin.ENERGY_KEY in m.values
+
+
+class TestOtf2Serialisation:
+    def test_roundtrip(self, tmp_path):
+        trace = trace_run(registry.build("EP"), plugins=(HdeemMetricPlugin(),))
+        path = write_trace(trace, tmp_path / "ep.otf2.jsonl")
+        clone = read_trace(path)
+        assert clone.app_name == trace.app_name
+        assert len(clone.records) == len(trace.records)
+        assert clone.metrics()[0].values == trace.metrics()[0].values
+
+    def test_empty_file_rejected(self, tmp_path):
+        p = tmp_path / "empty.jsonl"
+        p.write_text("")
+        with pytest.raises(TraceError):
+            read_trace(p)
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        p = tmp_path / "bad.jsonl"
+        p.write_text('{"otf2_version": 99, "app": "x"}\n')
+        with pytest.raises(TraceError, match="version"):
+            read_trace(p)

@@ -1,0 +1,71 @@
+"""Tests for workload characteristics and derived quantities."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.characteristics import CACHE_LINE_BYTES, WorkloadCharacteristics
+from repro.workloads.generator import random_characteristics
+from repro.util.rng import rng_for
+
+
+class TestValidation:
+    def test_negative_instructions_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadCharacteristics(instructions=-1)
+
+    def test_fraction_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadCharacteristics(instructions=1e9, load_frac=1.5)
+
+    def test_mix_over_unity_rejected(self):
+        with pytest.raises(ValueError, match="mix"):
+            WorkloadCharacteristics(
+                instructions=1e9,
+                load_frac=0.5,
+                store_frac=0.4,
+                cond_branch_frac=0.2,
+            )
+
+    def test_defaults_valid(self):
+        WorkloadCharacteristics(instructions=1e9)  # should not raise
+
+
+class TestDerived:
+    def test_cache_miss_chain_monotone(self):
+        c = WorkloadCharacteristics(instructions=1e10)
+        assert c.data_accesses >= c.l1d_misses >= c.l2d_misses >= c.l3d_misses
+
+    def test_memory_bytes_from_llc_misses(self):
+        c = WorkloadCharacteristics(
+            instructions=1e10, prefetch_frac=0.0, writeback_frac=0.0
+        )
+        assert c.memory_bytes == pytest.approx(c.l3d_misses * CACHE_LINE_BYTES)
+
+    def test_writeback_increases_traffic(self):
+        lo = WorkloadCharacteristics(instructions=1e10, writeback_frac=0.0)
+        hi = WorkloadCharacteristics(instructions=1e10, writeback_frac=0.5)
+        assert hi.memory_bytes > lo.memory_bytes
+
+    def test_compute_cycles_inverse_in_ipc(self):
+        slow = WorkloadCharacteristics(instructions=1e10, ipc=1.0)
+        fast = WorkloadCharacteristics(instructions=1e10, ipc=2.0)
+        assert slow.compute_cycles == pytest.approx(2 * fast.compute_cycles)
+
+    def test_scaled_preserves_rates(self):
+        c = WorkloadCharacteristics(instructions=1e10)
+        d = c.scaled(2.0)
+        assert d.instructions == 2e10
+        assert d.memory_intensity == pytest.approx(c.memory_intensity)
+
+    def test_with_replaces_fields(self):
+        c = WorkloadCharacteristics(instructions=1e10)
+        d = c.with_(ipc=2.2)
+        assert d.ipc == 2.2 and c.ipc != 2.2
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_random_characteristics_always_valid(self, idx):
+        c = random_characteristics(rng_for("chars-test", idx))
+        assert c.data_accesses >= c.l1d_misses >= c.l2d_misses >= c.l3d_misses
+        assert c.memory_bytes > 0
+        assert c.compute_cycles > 0

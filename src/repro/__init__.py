@@ -25,6 +25,12 @@ for the reproduction of every table and figure of the paper.
 """
 
 from repro import config
+from repro.campaign import (
+    CampaignEngine,
+    CampaignJob,
+    CampaignPlan,
+    ResultStore,
+)
 from repro.errors import ReproError
 from repro.execution.simulator import (
     ExecutionSimulator,
@@ -46,6 +52,10 @@ __version__ = "1.0.0"
 __all__ = [
     "config",
     "ReproError",
+    "CampaignEngine",
+    "CampaignJob",
+    "CampaignPlan",
+    "ResultStore",
     "ExecutionSimulator",
     "OperatingPoint",
     "RunResult",

@@ -1,0 +1,78 @@
+"""Parallel experiment-campaign engine with an on-disk result store.
+
+A *campaign* is the cross-product of applications, operating points and
+instrumentation modes that an experiment needs — the training-data
+acquisition sweep of Section IV-A, the exhaustive static search of
+Section V-D, or any ad-hoc grid.  This package splits such a campaign
+into three orthogonal pieces:
+
+:mod:`repro.campaign.plan`
+    Declarative job descriptions (:class:`CampaignJob`) and planners
+    that expand benchmark lists into full job grids
+    (:class:`CampaignPlan`).
+:mod:`repro.campaign.store`
+    A content-addressed JSON-lines store (:class:`ResultStore`): every
+    job result is keyed by a hash of its full descriptor
+    (app, operating point, node, seeds, mode), so repeated benches and
+    LOOCV retraining hit the cache instead of re-simulating.
+:mod:`repro.campaign.engine`
+    The executor (:class:`CampaignEngine`): runs the uncached jobs of a
+    plan, serially or across a ``ProcessPoolExecutor`` worker pool.
+    Because every stochastic quantity in the simulator draws from a
+    stream keyed by :func:`repro.util.rng.rng_for`, parallel execution
+    is bit-identical to serial execution.
+
+The three hot consumers — :func:`repro.modeling.dataset.build_dataset`,
+:func:`repro.ptf.static_tuning.exhaustive_static_search` and the
+benchmark harness (``benchmarks/_common.py``) — are built on top of this
+package, and the ``repro-campaign`` CLI (see ``docs/cli.md``) exposes
+plan/run/status subcommands for warming and inspecting stores.
+"""
+
+from repro.campaign.engine import (
+    CampaignEngine,
+    CampaignReport,
+    CampaignResults,
+    default_worker_count,
+    execute_job,
+    qualified_descriptor,
+    run_app_jobs,
+    topology_job_key,
+)
+from repro.campaign.plan import (
+    CampaignJob,
+    CampaignPlan,
+    counter_jobs,
+    plan_dataset_campaign,
+    plan_static_campaign,
+    static_jobs,
+    static_operating_points,
+    sweep_jobs,
+    sweep_operating_points,
+    thread_series,
+)
+from repro.campaign.store import STORE_VERSION, ResultStore, job_key
+
+__all__ = [
+    "CampaignEngine",
+    "CampaignJob",
+    "CampaignPlan",
+    "CampaignReport",
+    "CampaignResults",
+    "ResultStore",
+    "STORE_VERSION",
+    "counter_jobs",
+    "default_worker_count",
+    "execute_job",
+    "job_key",
+    "plan_dataset_campaign",
+    "plan_static_campaign",
+    "qualified_descriptor",
+    "run_app_jobs",
+    "topology_job_key",
+    "static_jobs",
+    "static_operating_points",
+    "sweep_jobs",
+    "sweep_operating_points",
+    "thread_series",
+]

@@ -1,0 +1,317 @@
+"""Campaign execution: serial or across a process worker pool.
+
+:func:`execute_job` is a top-level function (picklable) that rebuilds
+the job's node and application from seeds and the registry, runs the
+simulator, and returns a small JSON-able payload.  Because every noise
+stream is keyed through :func:`repro.util.rng.rng_for` by
+(seed, node, run key, region, iteration) — never by process or call
+order — the payload is bit-identical whether the job runs serially, in
+a worker process, or in a different session entirely.  That property is
+what makes the content-addressed :class:`~repro.campaign.store.ResultStore`
+sound.
+
+Payload layout by mode:
+
+``counters``
+    ``{"totals": {papi_name: total}, "phase_time_s": s}`` — summed over
+    the phase region's instances of one run.
+``sweep`` / ``static``
+    ``{"node_energy_j": J, "cpu_energy_j": J, "time_s": s}``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro import config
+from repro.campaign.plan import CampaignJob, CampaignPlan
+from repro.campaign.store import ResultStore, job_key
+from repro.errors import CampaignError, WorkloadError
+from repro.execution.simulator import ExecutionSimulator
+from repro.hardware.cluster import Cluster
+from repro.hardware.node import ComputeNode
+from repro.hardware.topology import NodeTopology
+from repro.workloads import registry
+from repro.workloads.application import Application
+
+#: Environment override for the default pool width.
+WORKERS_ENV = "REPRO_CAMPAIGN_WORKERS"
+
+#: Never spin up more than this many workers by default.
+MAX_DEFAULT_WORKERS = 8
+
+#: With auto-sized pools, require at least this many pending jobs per
+#: worker before parallelising (a 3-job plan is cheaper run serially
+#: than forking a pool for it).
+MIN_JOBS_PER_WORKER = 8
+
+
+def default_worker_count() -> int:
+    """Pool width: ``$REPRO_CAMPAIGN_WORKERS`` or cpu count (capped)."""
+    env = os.environ.get(WORKERS_ENV)
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise CampaignError(
+                f"{WORKERS_ENV} must be an integer, got {env!r}"
+            ) from None
+    return min(os.cpu_count() or 1, MAX_DEFAULT_WORKERS)
+
+
+class _PhaseCounterCollector:
+    """RunListener summing phase-region counter totals (Section III-C)."""
+
+    def __init__(self, counters: tuple[str, ...]):
+        self.counters = counters
+        self.totals = {c: 0.0 for c in counters}
+        self.phase_time = 0.0
+
+    def on_enter(self, region, iteration, time_s) -> None:
+        pass
+
+    def on_exit(self, region, iteration, time_s, metrics) -> None:
+        # Counters are inclusive, so the phase record carries the whole
+        # iteration's totals (the plugin requests metrics for the phase).
+        if region.kind.value == "phase":
+            for c in self.counters:
+                self.totals[c] += metrics.get(c, 0.0)
+            self.phase_time += metrics["time_s"]
+
+
+def execute_job(
+    job: CampaignJob,
+    topology: NodeTopology | None = None,
+    app=None,
+) -> dict[str, Any]:
+    """Run one campaign job from scratch and return its payload.
+
+    ``app`` overrides the registry lookup for callers holding a custom
+    :class:`~repro.workloads.application.Application` instance that is
+    not registered under ``job.app`` (such jobs bypass pools/stores).
+    """
+    if app is None:
+        app = registry.build(job.app)
+    node = ComputeNode(job.node_id, seed=job.node_seed, topology=topology)
+    node.set_frequencies(job.core_freq_ghz, job.uncore_freq_ghz)
+    simulator = ExecutionSimulator(node, seed=job.seed)
+    if job.mode == "counters":
+        collector = _PhaseCounterCollector(job.counters)
+        simulator.run(
+            app,
+            threads=job.threads,
+            listeners=(collector,),
+            collect_counters=True,
+            run_key=job.run_key(),
+        )
+        return {
+            "totals": dict(collector.totals),
+            "phase_time_s": collector.phase_time,
+        }
+    run = simulator.run(app, threads=job.threads, run_key=job.run_key())
+    return {
+        "node_energy_j": run.node_energy_j,
+        "cpu_energy_j": run.cpu_energy_j,
+        "time_s": run.time_s,
+    }
+
+
+@dataclass(frozen=True)
+class CampaignReport:
+    """What one :meth:`CampaignEngine.run` call did."""
+
+    planned: int
+    cached: int
+    executed: int
+    workers: int
+
+
+def qualified_descriptor(
+    job: CampaignJob, topology: NodeTopology | None
+) -> dict[str, Any]:
+    """The job descriptor, qualified by a non-default node topology.
+
+    Default-topology descriptors are the plain :meth:`CampaignJob.descriptor`,
+    so stores written by any engine, the CLI or the bench harness agree;
+    a custom topology changes the physics, so it is mixed in and never
+    collides with default-topology results.
+    """
+    if topology is None:
+        return job.descriptor()
+    return {**job.descriptor(), "topology": repr(topology)}
+
+
+def topology_job_key(job: CampaignJob, topology: NodeTopology | None) -> str:
+    """Store key for a job under the given topology."""
+    return job_key(qualified_descriptor(job, topology))
+
+
+class CampaignResults:
+    """Job-addressable payloads from one engine run."""
+
+    def __init__(
+        self,
+        payloads: dict[str, dict[str, Any]],
+        report: CampaignReport,
+        topology: NodeTopology | None = None,
+    ):
+        self._payloads = payloads
+        self._topology = topology
+        self.report = report
+
+    def __len__(self) -> int:
+        return len(self._payloads)
+
+    def __getitem__(self, job: CampaignJob | str) -> dict[str, Any]:
+        key = job if isinstance(job, str) else topology_job_key(job, self._topology)
+        try:
+            return self._payloads[key]
+        except KeyError:
+            raise CampaignError(f"no result for job key {key}") from None
+
+
+class CampaignEngine:
+    """Executes campaign plans with caching and optional parallelism.
+
+    ``max_workers=None`` auto-sizes the pool (see
+    :func:`default_worker_count`); ``0`` or ``1`` forces serial
+    in-process execution.  When a :class:`ResultStore` is attached,
+    cached jobs are never re-simulated and fresh results are persisted
+    as they are collected, so an interrupted campaign keeps its
+    completed work.
+    """
+
+    def __init__(
+        self,
+        *,
+        store: ResultStore | None = None,
+        max_workers: int | None = None,
+        topology: NodeTopology | None = None,
+    ):
+        self.store = store
+        self.max_workers = max_workers
+        self.topology = topology
+        self.total_executed = 0
+        self.total_cached = 0
+
+    # ------------------------------------------------------------------
+    def run(self, plan: CampaignPlan | Iterable[CampaignJob]) -> CampaignResults:
+        """Execute (or recall) every job of ``plan``."""
+        if not isinstance(plan, CampaignPlan):
+            plan = CampaignPlan(tuple(plan))
+        payloads: dict[str, dict[str, Any]] = {}
+        pending: list[tuple[str, CampaignJob]] = []
+        for job in plan:
+            key = topology_job_key(job, self.topology)
+            cached = self.store.get(key) if self.store is not None else None
+            if cached is not None:
+                payloads[key] = cached
+            else:
+                pending.append((key, job))
+
+        cached_count = len(plan) - len(pending)
+        workers = self._worker_count(len(pending))
+        if workers > 1:
+            self._run_pool(pending, workers, payloads)
+        else:
+            for key, job in pending:
+                payloads[key] = execute_job(job, self.topology)
+                self._persist(key, job, payloads[key])
+
+        self.total_executed += len(pending)
+        self.total_cached += cached_count
+        report = CampaignReport(
+            planned=len(plan),
+            cached=cached_count,
+            executed=len(pending),
+            workers=workers,
+        )
+        return CampaignResults(payloads, report, topology=self.topology)
+
+    # ------------------------------------------------------------------
+    def _descriptor(self, job: CampaignJob) -> dict[str, Any]:
+        return qualified_descriptor(job, self.topology)
+
+    def _persist(self, key: str, job: CampaignJob, payload: dict[str, Any]) -> None:
+        if self.store is not None:
+            self.store.put(key, self._descriptor(job), payload)
+
+    def _worker_count(self, pending: int) -> int:
+        """Pool width for this run: explicit settings are honoured; the
+        auto default refuses to spin up a pool for small plans where
+        fork/pickle overhead would dominate."""
+        if pending == 0:
+            return 0
+        if self.max_workers is not None:
+            return max(1, min(self.max_workers, pending))
+        auto = min(default_worker_count(), pending // MIN_JOBS_PER_WORKER)
+        return max(1, auto)
+    def _run_pool(
+        self,
+        pending: list[tuple[str, CampaignJob]],
+        workers: int,
+        payloads: dict[str, dict[str, Any]],
+    ) -> None:
+        """Fan the pending jobs out across a process pool."""
+        # Prefer fork on Linux: workers inherit the imported registry and
+        # numpy, so per-job startup stays negligible.
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+        with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
+            futures = [
+                (key, job, pool.submit(execute_job, job, self.topology))
+                for key, job in pending
+            ]
+            for key, job, future in futures:
+                payloads[key] = future.result()
+                self._persist(key, job, payloads[key])
+
+
+# ---------------------------------------------------------------------------
+# Shared consumer dispatch
+# ---------------------------------------------------------------------------
+
+def _registry_faithful(app: Application) -> bool:
+    """Whether ``app`` is exactly what the registry builds for its name."""
+    try:
+        stock = registry.build(app.name)
+    except WorkloadError:
+        return False
+    return app == stock
+
+
+def run_app_jobs(
+    jobs: tuple[CampaignJob, ...],
+    app: Application,
+    *,
+    cluster: Cluster,
+    engine: CampaignEngine | None = None,
+) -> CampaignResults:
+    """Run one application's job batch with live-object fidelity.
+
+    Campaign jobs reference applications by registry name so pools and
+    stores can rebuild them — which is only sound when ``app`` is
+    exactly what the registry would build.  Custom or mutated instances
+    therefore run serially, in-process, against the live object, and
+    are never cached.  An explicitly passed ``engine`` wins (including
+    its topology); otherwise an ad-hoc engine simulates the cluster's
+    topology.
+    """
+    if _registry_faithful(app):
+        if engine is None:
+            engine = CampaignEngine(topology=cluster.topology)
+        return engine.run(CampaignPlan(tuple(jobs)))
+    payloads = {
+        topology_job_key(job, cluster.topology): execute_job(
+            job, cluster.topology, app=app
+        )
+        for job in jobs
+    }
+    report = CampaignReport(
+        planned=len(jobs), cached=0, executed=len(jobs), workers=1
+    )
+    return CampaignResults(payloads, report, topology=cluster.topology)

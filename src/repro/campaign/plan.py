@@ -1,0 +1,336 @@
+"""Campaign planning: declarative jobs and grid expansion.
+
+A :class:`CampaignJob` is a pure description of one simulated
+experiment — everything needed to run it in any process and to address
+its result in the :mod:`~repro.campaign.store`.  Planner functions
+expand benchmark lists into the paper's grids:
+
+``counters``
+    Instrumented runs at the calibration operating point that collect
+    PAPI counter totals for the phase region (Section IV-A).
+``sweep``
+    Plain energy runs over the DVFS axis then the UFS axis — the
+    training-data sweep (Section V-B).
+``static``
+    Plain energy runs over the full (threads x CF x UCF) grid — the
+    exhaustive static baseline (Section V-D).
+
+``sweep`` and ``static`` differ only in the label mixed into the noise
+streams; both labels are kept so campaign results stay bit-identical to
+the pre-campaign serial code paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro import config
+from repro.counters.papi import TABLE1_COUNTERS, preset
+from repro.errors import CampaignError
+from repro.execution.simulator import OperatingPoint
+from repro.workloads import registry
+from repro.workloads.application import Application
+
+#: The instrumentation/measurement modes a job can run under.
+MODES: tuple[str, ...] = ("counters", "sweep", "static")
+
+#: Runs averaged for one counter measurement (PMU multiplexing).
+COUNTER_MEASUREMENT_RUNS = 3
+
+
+@dataclass(frozen=True)
+class CampaignJob:
+    """One simulated experiment, fully described.
+
+    ``seed`` feeds the execution simulator's noise and counter streams;
+    ``node_seed`` feeds the node's power-variability factors (it equals
+    the owning cluster's seed).  ``threads`` may be ``None`` to use the
+    application default — the value is mixed verbatim into the noise
+    stream key, matching the historical serial code paths.
+    """
+
+    app: str
+    mode: str
+    core_freq_ghz: float = config.DEFAULT_CORE_FREQ_GHZ
+    uncore_freq_ghz: float = config.DEFAULT_UNCORE_FREQ_GHZ
+    threads: int | None = None
+    node_id: int = 0
+    seed: int = config.DEFAULT_SEED
+    node_seed: int = config.DEFAULT_SEED
+    repetition: int = 0
+    counters: tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if self.mode not in MODES:
+            raise CampaignError(
+                f"unknown campaign mode: {self.mode!r}; known: {MODES}"
+            )
+        if self.mode == "counters" and not self.counters:
+            raise CampaignError("counters mode requires a counter set")
+
+    def run_key(self) -> tuple:
+        """The simulator noise-stream label (mirrors the serial paths)."""
+        if self.mode == "counters":
+            return ("counters", self.threads, self.repetition)
+        if self.mode == "sweep":
+            return ("sweep", self.threads, self.core_freq_ghz, self.uncore_freq_ghz)
+        return ("static", self.core_freq_ghz, self.uncore_freq_ghz, self.threads)
+
+    def descriptor(self) -> dict[str, Any]:
+        """JSON-able canonical form, hashed into the store key."""
+        return {
+            "app": self.app,
+            "mode": self.mode,
+            "core_freq_ghz": self.core_freq_ghz,
+            "uncore_freq_ghz": self.uncore_freq_ghz,
+            "threads": self.threads,
+            "node_id": self.node_id,
+            "seed": self.seed,
+            "node_seed": self.node_seed,
+            "repetition": self.repetition,
+            "counters": list(self.counters),
+        }
+
+
+@dataclass(frozen=True)
+class CampaignPlan:
+    """An ordered, duplicate-free sequence of jobs."""
+
+    jobs: tuple[CampaignJob, ...]
+
+    def __post_init__(self):
+        seen: set[CampaignJob] = set()
+        unique = []
+        for job in self.jobs:
+            if job not in seen:
+                seen.add(job)
+                unique.append(job)
+        object.__setattr__(self, "jobs", tuple(unique))
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self) -> Iterator[CampaignJob]:
+        return iter(self.jobs)
+
+    def merge(self, other: "CampaignPlan") -> "CampaignPlan":
+        return CampaignPlan(self.jobs + other.jobs)
+
+    def describe(self) -> dict[str, Any]:
+        """Aggregate view for ``repro-campaign plan``."""
+        apps: dict[str, int] = {}
+        modes: dict[str, int] = {}
+        points: set[tuple] = set()
+        for job in self.jobs:
+            apps[job.app] = apps.get(job.app, 0) + 1
+            modes[job.mode] = modes.get(job.mode, 0) + 1
+            points.add((job.core_freq_ghz, job.uncore_freq_ghz, job.threads))
+        return {
+            "jobs": len(self.jobs),
+            "apps": dict(sorted(apps.items())),
+            "modes": dict(sorted(modes.items())),
+            "operating_points": len(points),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Grid helpers
+# ---------------------------------------------------------------------------
+
+def thread_series(
+    app: Application, thread_counts: tuple[int, ...] | None = None
+) -> tuple[int, ...]:
+    """Thread sweep for one application: the 12..24 step-4 candidates for
+    thread-tunable codes, the fixed default for MPI-only codes."""
+    if thread_counts is None:
+        thread_counts = config.OPENMP_THREAD_CANDIDATES
+    if app.model.supports_thread_tuning:
+        return tuple(thread_counts)
+    return (app.default_threads,)
+
+
+def sweep_operating_points() -> list[tuple[float, float]]:
+    """The paper's training sweep: DVFS axis then UFS axis."""
+    points = [
+        (cf, config.CALIBRATION_UNCORE_FREQ_GHZ)
+        for cf in config.CORE_FREQUENCIES_GHZ
+    ]
+    points += [
+        (config.CALIBRATION_CORE_FREQ_GHZ, ucf)
+        for ucf in config.UNCORE_FREQUENCIES_GHZ
+        if (config.CALIBRATION_CORE_FREQ_GHZ, ucf) not in points
+    ]
+    return points
+
+
+def static_operating_points(
+    app: Application,
+    *,
+    stride: int = 1,
+    thread_counts: tuple[int, ...] | None = None,
+) -> list[OperatingPoint]:
+    """The exhaustive static grid, with the platform default appended so
+    the baseline is always part of the sweep.
+
+    An explicit ``thread_counts`` is honoured verbatim, even for codes
+    without thread tuning (the simulator then runs them at their fixed
+    configuration, as the hardware would).
+    """
+    if stride < 1:
+        raise CampaignError("stride must be >= 1")
+    series = (
+        tuple(thread_counts)
+        if thread_counts is not None
+        else thread_series(app)
+    )
+    cfs = config.CORE_FREQUENCIES_GHZ[::stride]
+    ucfs = config.UNCORE_FREQUENCIES_GHZ[::stride]
+    points = [
+        OperatingPoint(cf, ucf, t) for t in series for cf in cfs for ucf in ucfs
+    ]
+    default_point = OperatingPoint(
+        config.DEFAULT_CORE_FREQ_GHZ,
+        config.DEFAULT_UNCORE_FREQ_GHZ,
+        config.DEFAULT_OPENMP_THREADS,
+    )
+    if default_point not in points:
+        points.append(default_point)
+    return points
+
+
+# ---------------------------------------------------------------------------
+# Job builders (shared by the consumers, so store keys always agree)
+# ---------------------------------------------------------------------------
+
+def counter_jobs(
+    app_name: str,
+    *,
+    threads: int | None,
+    counters: tuple[str, ...],
+    runs: int = COUNTER_MEASUREMENT_RUNS,
+    node_id: int = 0,
+    seed: int = config.DEFAULT_SEED,
+    node_seed: int | None = None,
+) -> tuple[CampaignJob, ...]:
+    """One instrumented calibration-point job per averaged repetition."""
+    return tuple(
+        CampaignJob(
+            app=app_name,
+            mode="counters",
+            core_freq_ghz=config.CALIBRATION_CORE_FREQ_GHZ,
+            uncore_freq_ghz=config.CALIBRATION_UNCORE_FREQ_GHZ,
+            threads=threads,
+            node_id=node_id,
+            seed=seed,
+            node_seed=seed if node_seed is None else node_seed,
+            repetition=r,
+            counters=tuple(counters),
+        )
+        for r in range(runs)
+    )
+
+
+def sweep_jobs(
+    app_name: str,
+    *,
+    threads: int | None,
+    node_id: int = 0,
+    seed: int = config.DEFAULT_SEED,
+    node_seed: int | None = None,
+) -> tuple[CampaignJob, ...]:
+    """One plain energy job per training-sweep operating point."""
+    return tuple(
+        CampaignJob(
+            app=app_name,
+            mode="sweep",
+            core_freq_ghz=cf,
+            uncore_freq_ghz=ucf,
+            threads=threads,
+            node_id=node_id,
+            seed=seed,
+            node_seed=seed if node_seed is None else node_seed,
+        )
+        for cf, ucf in sweep_operating_points()
+    )
+
+
+def static_jobs(
+    app_name: str,
+    *,
+    points: list[OperatingPoint],
+    node_id: int = 0,
+    seed: int = config.DEFAULT_SEED,
+    node_seed: int | None = None,
+) -> tuple[CampaignJob, ...]:
+    """One plain energy job per static-grid operating point."""
+    return tuple(
+        CampaignJob(
+            app=app_name,
+            mode="static",
+            core_freq_ghz=p.core_freq_ghz,
+            uncore_freq_ghz=p.uncore_freq_ghz,
+            threads=p.threads,
+            node_id=node_id,
+            seed=seed,
+            node_seed=seed if node_seed is None else node_seed,
+        )
+        for p in points
+    )
+
+
+# ---------------------------------------------------------------------------
+# Campaign planners
+# ---------------------------------------------------------------------------
+
+def plan_dataset_campaign(
+    benchmarks: tuple[str, ...] | list[str] | None = None,
+    *,
+    thread_counts: tuple[int, ...] | None = None,
+    counters: tuple[str, ...] = TABLE1_COUNTERS,
+    runs: int = COUNTER_MEASUREMENT_RUNS,
+    node_id: int = 0,
+    seed: int = config.DEFAULT_SEED,
+    node_seed: int | None = None,
+) -> CampaignPlan:
+    """All jobs of the training-data acquisition (counters + sweep)."""
+    if benchmarks is None:
+        benchmarks = registry.benchmark_names()
+    canonical = tuple(preset(c).name for c in counters)
+    jobs: list[CampaignJob] = []
+    for name in benchmarks:
+        app = registry.build(name)
+        for threads in thread_series(app, thread_counts):
+            jobs += counter_jobs(
+                name, threads=threads, counters=canonical, runs=runs,
+                node_id=node_id, seed=seed, node_seed=node_seed,
+            )
+            jobs += sweep_jobs(
+                name, threads=threads,
+                node_id=node_id, seed=seed, node_seed=node_seed,
+            )
+    return CampaignPlan(tuple(jobs))
+
+
+def plan_static_campaign(
+    benchmarks: tuple[str, ...] | list[str] | None = None,
+    *,
+    stride: int = 1,
+    thread_counts: tuple[int, ...] | None = None,
+    node_id: int = 0,
+    seed: int = config.DEFAULT_SEED,
+    node_seed: int | None = None,
+) -> CampaignPlan:
+    """All jobs of the exhaustive static search (Table V grid)."""
+    if benchmarks is None:
+        benchmarks = registry.benchmark_names()
+    jobs: list[CampaignJob] = []
+    for name in benchmarks:
+        app = registry.build(name)
+        points = static_operating_points(
+            app, stride=stride, thread_counts=thread_counts
+        )
+        jobs += static_jobs(
+            name, points=points, node_id=node_id, seed=seed, node_seed=node_seed,
+        )
+    return CampaignPlan(tuple(jobs))

@@ -1,0 +1,129 @@
+"""Content-addressed on-disk result store (JSON lines).
+
+Every campaign job result is stored under a key derived from the job's
+full descriptor — application, mode, operating point, node id, seeds,
+repetition and counter set — so a result is reused if and only if it
+would be bit-identical to a fresh simulation.  The on-disk format is
+append-only JSON lines, one record per job::
+
+    {"key": "<blake2b-128 hex>", "job": {...descriptor...}, "result": {...}}
+
+JSON serialises floats via ``repr`` (shortest round-trip), so payloads
+read back from a warm store compare equal to freshly simulated ones.
+
+:data:`STORE_VERSION` is mixed into every key; bump it whenever the
+simulator physics or the result payload layout changes, which atomically
+invalidates all previously persisted results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, IO
+
+from repro.errors import CampaignError
+
+#: Bump on any change to simulator physics or payload layout.
+STORE_VERSION = 1
+
+
+def job_key(descriptor: dict[str, Any]) -> str:
+    """Content hash of a job descriptor (stable across processes/runs)."""
+    payload = json.dumps(
+        {"store_version": STORE_VERSION, **descriptor}, sort_keys=True
+    )
+    return hashlib.blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()
+
+
+class ResultStore:
+    """Persistent (or, with ``path=None``, in-memory) job-result cache.
+
+    The store is loaded eagerly on construction and appended to on every
+    :meth:`put`.  Unparseable lines (e.g. a truncated tail after a
+    crash) are skipped on load; the next ``put`` of that key simply
+    rewrites the record.
+    """
+
+    def __init__(self, path: str | Path | None = None):
+        self.path = Path(path) if path is not None else None
+        self._records: dict[str, dict[str, Any]] = {}
+        self._handle: IO[str] | None = None
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        assert self.path is not None
+        with self.path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # truncated/corrupt line: treat as a miss
+                if (
+                    isinstance(record, dict)
+                    and isinstance(record.get("key"), str)
+                    and isinstance(record.get("result"), dict)
+                ):
+                    self._records[record["key"]] = record
+
+    def _append(self, record: dict[str, Any]) -> None:
+        if self.path is None:
+            return
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a", encoding="utf-8")
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> dict[str, Any] | None:
+        """The stored result payload for ``key``, or ``None`` on a miss."""
+        record = self._records.get(key)
+        return record["result"] if record is not None else None
+
+    def put(
+        self, key: str, descriptor: dict[str, Any], result: dict[str, Any]
+    ) -> None:
+        """Insert a result; re-putting an existing key is a no-op."""
+        if key in self._records:
+            return
+        if job_key(descriptor) != key:
+            raise CampaignError("store key does not match the job descriptor")
+        record = {"key": key, "job": descriptor, "result": result}
+        self._records[key] = record
+        self._append(record)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # ------------------------------------------------------------------
+    def __contains__(self, key: object) -> bool:
+        return key in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def summary(self) -> dict[str, Any]:
+        """Aggregate view for ``repro-campaign status``."""
+        by_app: dict[str, int] = {}
+        by_mode: dict[str, int] = {}
+        for record in self._records.values():
+            descriptor = record.get("job", {})
+            app = str(descriptor.get("app", "?"))
+            mode = str(descriptor.get("mode", "?"))
+            by_app[app] = by_app.get(app, 0) + 1
+            by_mode[mode] = by_mode.get(mode, 0) + 1
+        return {
+            "path": str(self.path) if self.path is not None else None,
+            "results": len(self._records),
+            "apps": dict(sorted(by_app.items())),
+            "modes": dict(sorted(by_mode.items())),
+        }

@@ -62,3 +62,7 @@ class RRLError(ReproError):
 
 class JobError(ReproError):
     """Raised by the job/SLURM accounting layer."""
+
+
+class CampaignError(ReproError):
+    """Raised by the experiment-campaign engine and result store."""

@@ -33,10 +33,19 @@ class Cluster:
         self._nodes: dict[int, ComputeNode] = {}
         self._next = 0
 
-    def node(self, node_id: int) -> ComputeNode:
-        """Return (creating on first use) the node with this id."""
+    @property
+    def topology(self) -> NodeTopology | None:
+        """The custom topology nodes are built with (``None`` = default)."""
+        return self._topology
+
+    def check_node_id(self, node_id: int) -> None:
+        """Raise :class:`~repro.errors.JobError` for out-of-range ids."""
         if not 0 <= node_id < self.num_nodes:
             raise JobError(f"no such node: {node_id} (cluster has {self.num_nodes})")
+
+    def node(self, node_id: int) -> ComputeNode:
+        """Return (creating on first use) the node with this id."""
+        self.check_node_id(node_id)
         if node_id not in self._nodes:
             self._nodes[node_id] = ComputeNode(
                 node_id, seed=self.seed, topology=self._topology
@@ -50,8 +59,7 @@ class Cluster:
         same physical node: variability factors are reproducible from
         (node_id, seed), so the physics is unchanged.
         """
-        if not 0 <= node_id < self.num_nodes:
-            raise JobError(f"no such node: {node_id} (cluster has {self.num_nodes})")
+        self.check_node_id(node_id)
         node = ComputeNode(node_id, seed=self.seed, topology=self._topology)
         self._nodes[node_id] = node
         return node

@@ -18,6 +18,13 @@ One sample is ``[counter rates..., CF, UCF] -> E_norm``.  The thread
 count is *not* an input of the network (Figure 4 has nine inputs); it
 enters indirectly through the rates, which are measured at the same
 thread count as the energies.
+
+All simulations run through the :mod:`repro.campaign` engine: one plan
+covering every (benchmark, threads) series is executed across the
+worker pool, and an attached :class:`~repro.campaign.store.ResultStore`
+lets repeated builds (benches, LOOCV retraining) reuse results instead
+of re-simulating.  Campaign execution is bit-identical to the serial
+per-run path these functions used before.
 """
 
 from __future__ import annotations
@@ -27,18 +34,34 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import config
+from repro.campaign.engine import CampaignEngine, CampaignResults, run_app_jobs
+from repro.campaign.plan import (
+    COUNTER_MEASUREMENT_RUNS,
+    CampaignJob,
+    counter_jobs,
+    plan_dataset_campaign,
+    sweep_jobs,
+    sweep_operating_points,
+    thread_series,
+)
 from repro.counters.papi import TABLE1_COUNTERS, preset
 from repro.errors import ModelError
-from repro.execution.simulator import ExecutionSimulator
 from repro.hardware.cluster import Cluster
 from repro.workloads import registry
 from repro.workloads.application import Application
 
+__all__ = [
+    "COUNTER_MEASUREMENT_RUNS",
+    "EnergyDataset",
+    "FEATURE_COUNTERS",
+    "build_dataset",
+    "measure_counter_rates",
+    "measure_normalized_energy",
+    "sweep_operating_points",
+]
+
 #: The model's counter features (Table I), in the paper's order.
 FEATURE_COUNTERS: tuple[str, ...] = TABLE1_COUNTERS
-
-#: Runs averaged for the counter measurement.
-COUNTER_MEASUREMENT_RUNS = 3
 
 
 @dataclass
@@ -95,6 +118,51 @@ class EnergyDataset:
         return self.subset(rest), self.subset(holdout)
 
 
+# ---------------------------------------------------------------------------
+# Campaign-result assembly
+# ---------------------------------------------------------------------------
+
+def _rates_from_results(
+    results: CampaignResults,
+    jobs: tuple[CampaignJob, ...],
+    canonical: list[str],
+    app_name: str,
+) -> dict[str, float]:
+    """Average counter totals over the repetition jobs, normalise by the
+    accumulated phase time (Section IV-C)."""
+    sums = {c: 0.0 for c in canonical}
+    phase_time = 0.0
+    for job in jobs:
+        payload = results[job]
+        for c in canonical:
+            sums[c] += payload["totals"][c]
+        phase_time += payload["phase_time_s"]
+    if phase_time <= 0:
+        raise ModelError(f"{app_name}: no phase time measured")
+    return {c: sums[c] / phase_time for c in canonical}
+
+
+def _normalized_energy_from_results(
+    results: CampaignResults, jobs: tuple[CampaignJob, ...]
+) -> dict[tuple[float, float], tuple[float, float]]:
+    """Normalise each sweep point by the series' calibration point."""
+    raw = {
+        (job.core_freq_ghz, job.uncore_freq_ghz): (
+            results[job]["node_energy_j"],
+            results[job]["time_s"],
+        )
+        for job in jobs
+    }
+    cal_e, cal_t = raw[
+        (config.CALIBRATION_CORE_FREQ_GHZ, config.CALIBRATION_UNCORE_FREQ_GHZ)
+    ]
+    return {p: (e / cal_e, t / cal_t) for p, (e, t) in raw.items()}
+
+
+# ---------------------------------------------------------------------------
+# Measurement front-ends
+# ---------------------------------------------------------------------------
+
 def measure_counter_rates(
     app: Application,
     cluster: Cluster,
@@ -104,65 +172,26 @@ def measure_counter_rates(
     counters: tuple[str, ...] = FEATURE_COUNTERS,
     runs: int = COUNTER_MEASUREMENT_RUNS,
     seed: int = config.DEFAULT_SEED,
+    engine: CampaignEngine | None = None,
 ) -> dict[str, float]:
-    """Counter rates (events per second of phase time) at calibration."""
+    """Counter rates (events per second of phase time) at calibration.
+
+    Registry benchmarks run through the campaign engine; custom or
+    mutated application instances run serially against the live object.
+    """
+    cluster.check_node_id(node_id)
     canonical = [preset(c).name for c in counters]
-    sums = {c: 0.0 for c in canonical}
-    phase_time = 0.0
-    for r in range(runs):
-        node = cluster.fresh_node(node_id)
-        node.set_frequencies(
-            config.CALIBRATION_CORE_FREQ_GHZ, config.CALIBRATION_UNCORE_FREQ_GHZ
-        )
-
-        class _Collect:
-            def __init__(self):
-                self.totals = {c: 0.0 for c in canonical}
-                self.phase_time = 0.0
-
-            def on_enter(self, region, iteration, time_s):
-                pass
-
-            def on_exit(self, region, iteration, time_s, metrics):
-                # Counters are inclusive, so the phase record carries the
-                # whole iteration's totals (Section III-C: the plugin
-                # requests metrics for the phase region).
-                if region.kind.value == "phase":
-                    for c in canonical:
-                        self.totals[c] += metrics.get(c, 0.0)
-                    self.phase_time += metrics["time_s"]
-
-        collector = _Collect()
-        ExecutionSimulator(node, seed=seed).run(
-            app,
-            threads=threads,
-            listeners=(collector,),
-            collect_counters=True,
-            run_key=("counters", threads, r),
-        )
-        for c in canonical:
-            sums[c] += collector.totals[c]
-        phase_time += collector.phase_time
-    if phase_time <= 0:
-        raise ModelError(f"{app.name}: no phase time measured")
-    # Average across runs, then normalise by phase execution time
-    # (Section IV-C: "PAPI counters are further normalized by dividing
-    # them with the execution time of one phase iteration").
-    return {c: sums[c] / phase_time for c in canonical}
-
-
-def sweep_operating_points() -> list[tuple[float, float]]:
-    """The paper's training sweep: DVFS axis then UFS axis."""
-    points = [
-        (cf, config.CALIBRATION_UNCORE_FREQ_GHZ)
-        for cf in config.CORE_FREQUENCIES_GHZ
-    ]
-    points += [
-        (config.CALIBRATION_CORE_FREQ_GHZ, ucf)
-        for ucf in config.UNCORE_FREQUENCIES_GHZ
-        if (config.CALIBRATION_CORE_FREQ_GHZ, ucf) not in points
-    ]
-    return points
+    jobs = counter_jobs(
+        app.name,
+        threads=threads,
+        counters=tuple(canonical),
+        runs=runs,
+        node_id=node_id,
+        seed=seed,
+        node_seed=cluster.seed,
+    )
+    results = run_app_jobs(jobs, app, cluster=cluster, engine=engine)
+    return _rates_from_results(results, jobs, canonical, app.name)
 
 
 def measure_normalized_energy(
@@ -172,24 +201,23 @@ def measure_normalized_energy(
     node_id: int = 0,
     threads: int | None = None,
     seed: int = config.DEFAULT_SEED,
+    engine: CampaignEngine | None = None,
 ) -> dict[tuple[float, float], tuple[float, float]]:
     """Per sweep point: (normalized energy, normalized time).
 
     Both are relative to the calibration point of this series (same
     benchmark, same thread count).
     """
-    raw: dict[tuple[float, float], tuple[float, float]] = {}
-    for cf, ucf in sweep_operating_points():
-        node = cluster.fresh_node(node_id)
-        node.set_frequencies(cf, ucf)
-        run = ExecutionSimulator(node, seed=seed).run(
-            app, threads=threads, run_key=("sweep", threads, cf, ucf)
-        )
-        raw[(cf, ucf)] = (run.node_energy_j, run.time_s)
-    cal_e, cal_t = raw[
-        (config.CALIBRATION_CORE_FREQ_GHZ, config.CALIBRATION_UNCORE_FREQ_GHZ)
-    ]
-    return {p: (e / cal_e, t / cal_t) for p, (e, t) in raw.items()}
+    cluster.check_node_id(node_id)
+    jobs = sweep_jobs(
+        app.name,
+        threads=threads,
+        node_id=node_id,
+        seed=seed,
+        node_seed=cluster.seed,
+    )
+    results = run_app_jobs(jobs, app, cluster=cluster, engine=engine)
+    return _normalized_energy_from_results(results, jobs)
 
 
 def build_dataset(
@@ -200,42 +228,51 @@ def build_dataset(
     counters: tuple[str, ...] = FEATURE_COUNTERS,
     thread_counts: tuple[int, ...] | None = None,
     seed: int = config.DEFAULT_SEED,
+    engine: CampaignEngine | None = None,
 ) -> EnergyDataset:
     """Assemble the full training dataset for the given benchmarks.
 
     ``thread_counts`` defaults to the paper's 12..24 step-4 sweep for
     thread-tunable codes; MPI-only codes contribute one series at their
-    fixed configuration.
+    fixed configuration.  The whole campaign (counter measurements and
+    energy sweeps for every series) is submitted to the engine as one
+    plan, so uncached jobs fan out across the worker pool together.
     """
     if benchmarks is None:
         benchmarks = registry.benchmark_names()
-    if thread_counts is None:
-        thread_counts = config.OPENMP_THREAD_CANDIDATES
     cluster = cluster or Cluster(4, seed=seed)
+    cluster.check_node_id(node_id)
     canonical = [preset(c).name for c in counters]
+    plan = plan_dataset_campaign(
+        benchmarks,
+        thread_counts=thread_counts,
+        counters=tuple(canonical),
+        node_id=node_id,
+        seed=seed,
+        node_seed=cluster.seed,
+    )
+    if engine is None:
+        engine = CampaignEngine(topology=cluster.topology)
+    results = engine.run(plan)
+
     rows, targets, times, groups = [], [], [], []
     counter_rates: dict[tuple[str, int], np.ndarray] = {}
     for name in benchmarks:
         app = registry.build(name)
-        series = (
-            thread_counts
-            if app.model.supports_thread_tuning
-            else (app.default_threads,)
-        )
-        for threads in series:
-            rates = measure_counter_rates(
-                app,
-                cluster,
-                node_id=node_id,
-                threads=threads,
-                counters=tuple(canonical),
-                seed=seed,
+        for threads in thread_series(app, thread_counts):
+            cjobs = counter_jobs(
+                name, threads=threads, counters=tuple(canonical),
+                node_id=node_id, seed=seed, node_seed=cluster.seed,
             )
+            rates = _rates_from_results(results, cjobs, canonical, name)
             rate_vec = np.array([rates[c] for c in canonical])
             counter_rates[(name, threads)] = rate_vec
-            for (cf, ucf), (e_norm, t_norm) in measure_normalized_energy(
-                app, cluster, node_id=node_id, threads=threads, seed=seed
-            ).items():
+            sjobs = sweep_jobs(
+                name, threads=threads,
+                node_id=node_id, seed=seed, node_seed=cluster.seed,
+            )
+            normalized = _normalized_energy_from_results(results, sjobs)
+            for (cf, ucf), (e_norm, t_norm) in normalized.items():
                 rows.append(np.concatenate([rate_vec, [cf, ucf]]))
                 targets.append(e_norm)
                 times.append(t_norm)

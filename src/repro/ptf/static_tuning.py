@@ -5,6 +5,11 @@ exhaustively running the benchmark at every OpenMP thread count, core
 frequency and uncore frequency and selecting the minimum-energy run
 (Section V-D).  ``stride`` thins the frequency grids when an approximate
 answer is enough (tests); the benchmarks run the full grid.
+
+The sweep executes through the :mod:`repro.campaign` engine: the full
+grid is submitted as one plan, fans out across the worker pool, and —
+when the engine carries a result store — warm re-runs select the best
+point without a single new simulation.
 """
 
 from __future__ import annotations
@@ -12,8 +17,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro import config
+from repro.campaign.engine import CampaignEngine, run_app_jobs
+from repro.campaign.plan import static_jobs, static_operating_points
 from repro.errors import TuningError
-from repro.execution.simulator import ExecutionSimulator, OperatingPoint
+from repro.execution.simulator import OperatingPoint
 from repro.hardware.cluster import Cluster
 from repro.ptf.objectives import Objective, ENERGY
 from repro.workloads.application import Application
@@ -45,51 +52,37 @@ def exhaustive_static_search(
     objective: Objective = ENERGY,
     stride: int = 1,
     thread_counts: tuple[int, ...] | None = None,
+    engine: CampaignEngine | None = None,
 ) -> StaticTuningResult:
     """Run the full static sweep and return the best configuration."""
     if stride < 1:
         raise TuningError("stride must be >= 1")
-    if thread_counts is None:
-        thread_counts = (
-            config.OPENMP_THREAD_CANDIDATES
-            if app.model.supports_thread_tuning
-            else (app.default_threads,)
-        )
-    cfs = config.CORE_FREQUENCIES_GHZ[::stride]
-    ucfs = config.UNCORE_FREQUENCIES_GHZ[::stride]
-    # Ensure the platform default is part of the sweep for the baseline.
+    points = static_operating_points(
+        app, stride=stride, thread_counts=thread_counts
+    )
     default_point = OperatingPoint(
         config.DEFAULT_CORE_FREQ_GHZ,
         config.DEFAULT_UNCORE_FREQ_GHZ,
         config.DEFAULT_OPENMP_THREADS,
     )
+    cluster.check_node_id(node_id)
+    jobs = static_jobs(
+        app.name, points=points, node_id=node_id, node_seed=cluster.seed
+    )
+    results = run_app_jobs(jobs, app, cluster=cluster, engine=engine)
+
     best_point, best_value = None, float("inf")
     best_energy = best_time = 0.0
     default_energy = default_time = None
-    tried = 0
-    points = [
-        OperatingPoint(cf, ucf, t)
-        for t in thread_counts
-        for cf in cfs
-        for ucf in ucfs
-    ]
-    if default_point not in points:
-        points.append(default_point)
-    for point in points:
-        node = cluster.fresh_node(node_id)
-        node.set_frequencies(point.core_freq_ghz, point.uncore_freq_ghz)
-        run = ExecutionSimulator(node).run(
-            app,
-            threads=point.threads,
-            run_key=("static", point.core_freq_ghz, point.uncore_freq_ghz, point.threads),
-        )
-        tried += 1
-        value = objective(run.node_energy_j, run.time_s)
+    for point, job in zip(points, jobs):
+        payload = results[job]
+        energy, time_s = payload["node_energy_j"], payload["time_s"]
+        value = objective(energy, time_s)
         if value < best_value:
             best_point, best_value = point, value
-            best_energy, best_time = run.node_energy_j, run.time_s
+            best_energy, best_time = energy, time_s
         if point == default_point:
-            default_energy, default_time = run.node_energy_j, run.time_s
+            default_energy, default_time = energy, time_s
     assert best_point is not None and default_energy is not None
     return StaticTuningResult(
         app_name=app.name,
@@ -98,5 +91,5 @@ def exhaustive_static_search(
         best_time_s=best_time,
         default_energy_j=default_energy,
         default_time_s=default_time,
-        configurations_tried=tried,
+        configurations_tried=len(jobs),
     )

@@ -6,6 +6,7 @@
 ``repro-sacct``         run a benchmark as a job and query its accounting
 ``repro-measure-rapl``  run a benchmark and report CPU energy via RAPL
 ``repro-otf2-parser``   post-process a trace file (energy + phase PAPI)
+``repro-campaign``      plan / run / inspect experiment campaigns
 ================  =========================================================
 """
 
@@ -172,6 +173,146 @@ def main_otf2_parser(argv: list[str] | None = None) -> int:
     for inst in report.phase_instances[:3]:
         printable = {k.removeprefix("papi::"): f"{v:.3g}" for k, v in inst.papi.items()}
         print(f"  iteration {inst.iteration}: {printable}")
+    return 0
+
+
+def _campaign_selection_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--benchmarks",
+        nargs="+",
+        choices=registry.benchmark_names(),
+        metavar="BENCH",
+        help="benchmarks to cover (default: all 19)",
+    )
+    parser.add_argument(
+        "--campaign",
+        choices=("dataset", "static", "both"),
+        default="dataset",
+        help="which grids to plan: the training-data acquisition "
+        "(counters + energy sweeps), the exhaustive static search, or both",
+    )
+    parser.add_argument(
+        "--threads",
+        type=int,
+        nargs="+",
+        help="thread sweep for thread-tunable codes "
+        f"(default: {' '.join(map(str, config.OPENMP_THREAD_CANDIDATES))})",
+    )
+    parser.add_argument(
+        "--stride", type=int, default=1,
+        help="thin the static frequency grids by this factor",
+    )
+    parser.add_argument("--node-id", type=int, default=0)
+    parser.add_argument("--seed", type=int, default=config.DEFAULT_SEED)
+
+
+def _campaign_plan(args):
+    from repro.campaign import plan_dataset_campaign, plan_static_campaign
+    from repro.campaign.plan import CampaignPlan
+
+    thread_counts = tuple(args.threads) if args.threads else None
+    plan = CampaignPlan(())
+    if args.campaign in ("dataset", "both"):
+        plan = plan.merge(plan_dataset_campaign(
+            args.benchmarks, thread_counts=thread_counts,
+            node_id=args.node_id, seed=args.seed,
+        ))
+    if args.campaign in ("static", "both"):
+        plan = plan.merge(plan_static_campaign(
+            args.benchmarks, stride=args.stride, thread_counts=thread_counts,
+            node_id=args.node_id, seed=args.seed,
+        ))
+    return plan
+
+
+def _print_breakdown(title: str, counts: dict[str, int]) -> None:
+    print(f"{title}:")
+    for name, count in counts.items():
+        print(f"  {name:20s} {count:6d}")
+
+
+def main_campaign(argv: list[str] | None = None) -> int:
+    """``repro-campaign {plan,run,status} ...``"""
+    parser = argparse.ArgumentParser(
+        prog="repro-campaign",
+        description="Plan, execute and inspect simulation campaigns "
+        "(parallel workers + content-addressed on-disk result store).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    plan_p = sub.add_parser("plan", help="show what a campaign would run")
+    _campaign_selection_args(plan_p)
+    plan_p.add_argument(
+        "--store", help="existing store to count cache hits against"
+    )
+
+    run_p = sub.add_parser("run", help="execute a campaign into a store")
+    _campaign_selection_args(run_p)
+    run_p.add_argument(
+        "--store",
+        default="campaign-store.jsonl",
+        help="result store path (JSON lines; created if missing)",
+    )
+    run_p.add_argument(
+        "--workers",
+        type=int,
+        help="worker processes (default: $REPRO_CAMPAIGN_WORKERS or cpu count)",
+    )
+
+    status_p = sub.add_parser("status", help="summarise a result store")
+    status_p.add_argument(
+        "--store", default="campaign-store.jsonl", help="result store path"
+    )
+
+    args = parser.parse_args(argv)
+
+    from repro.errors import ReproError
+
+    try:
+        return _campaign_dispatch(args)
+    except ReproError as exc:
+        print(f"repro-campaign: error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _campaign_dispatch(args) -> int:
+    from repro.campaign import CampaignEngine, ResultStore, job_key
+
+    if args.command == "status":
+        store = ResultStore(args.store)
+        summary = store.summary()
+        print(f"store:   {summary['path']}")
+        print(f"results: {summary['results']}")
+        if summary["results"]:
+            _print_breakdown("by mode", summary["modes"])
+            _print_breakdown("by app", summary["apps"])
+        return 0
+
+    plan = _campaign_plan(args)
+    description = plan.describe()
+    if args.command == "plan":
+        print(f"jobs:             {description['jobs']}")
+        print(f"operating points: {description['operating_points']}")
+        _print_breakdown("by mode", description["modes"])
+        _print_breakdown("by app", description["apps"])
+        if args.store:
+            store = ResultStore(args.store)
+            cached = sum(
+                1 for job in plan if job_key(job.descriptor()) in store
+            )
+            print(f"already cached:   {cached} / {description['jobs']}")
+        return 0
+
+    store = ResultStore(args.store)
+    engine = CampaignEngine(store=store, max_workers=args.workers)
+    print(f"running {description['jobs']} jobs "
+          f"({', '.join(f'{m}: {n}' for m, n in description['modes'].items())})")
+    results = engine.run(plan)
+    report = results.report
+    print(f"cache hits:      {report.cached}")
+    print(f"new simulations: {report.executed} "
+          f"(workers: {report.workers})")
+    print(f"store now holds {len(store)} results at {store.path}")
     return 0
 
 

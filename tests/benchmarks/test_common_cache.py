@@ -1,0 +1,63 @@
+"""Smoke test: the benchmark harness reuses persisted campaign results.
+
+``benchmarks/_common.py`` routes all simulations through a shared
+engine backed by an on-disk store, so artefacts built in one bench
+session are reused (zero new simulations) by the next.  The test
+simulates two sessions by clearing the harness caches and rebuilding
+the engine from the same store directory.
+"""
+
+import numpy as np
+import pytest
+
+import benchmarks._common as common
+from repro.modeling.dataset import build_dataset
+
+
+@pytest.fixture
+def harness_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv(common.CACHE_DIR_ENV, str(tmp_path))
+    common.campaign_engine.cache_clear()
+    yield tmp_path
+    common.campaign_engine.cache_clear()
+
+
+def small_artefact():
+    """A scaled-down stand-in for the full_dataset artefact (same code
+    path: build_dataset through the harness engine + store)."""
+    return build_dataset(
+        ("EP",),
+        thread_counts=(24,),
+        cluster=common.cluster(),
+        engine=common.campaign_engine(),
+    )
+
+
+def test_cache_dir_env_override(harness_cache):
+    assert common.cache_dir() == harness_cache
+
+
+def test_artefacts_reused_across_two_invocations(harness_cache):
+    # Session one builds and persists everything.
+    first_engine = common.campaign_engine()
+    first = small_artefact()
+    assert first_engine.total_executed == 34  # 3 counter runs + 31 sweep
+    assert (harness_cache / "campaign-store.jsonl").exists()
+
+    # Session two: fresh engine + store over the same directory.
+    first_engine.store.close()
+    common.campaign_engine.cache_clear()
+    second_engine = common.campaign_engine()
+    assert second_engine is not first_engine
+    second = small_artefact()
+    assert second_engine.total_executed == 0  # all 34 jobs came from disk
+    assert second_engine.total_cached == 34
+    assert np.array_equal(first.features, second.features)
+    assert np.array_equal(first.targets, second.targets)
+
+
+def test_static_result_artefact_uses_harness_engine(harness_cache):
+    """static_result routes through the same store (spot-check wiring)."""
+    engine = common.campaign_engine()
+    assert engine.store is not None
+    assert common.static_result.__wrapped__.__module__ == "benchmarks._common"

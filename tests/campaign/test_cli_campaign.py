@@ -1,0 +1,83 @@
+"""Tests for the ``repro-campaign`` console entry point."""
+
+import pytest
+
+from repro.tools.cli import main_campaign
+
+
+def run_cli(capsys, *argv: str) -> str:
+    assert main_campaign(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+class TestPlanCommand:
+    def test_plan_prints_breakdown(self, capsys):
+        out = run_cli(
+            capsys,
+            "plan", "--benchmarks", "EP", "--campaign", "both",
+            "--threads", "24", "--stride", "4",
+        )
+        assert "jobs:             55" in out
+        assert "counters" in out and "sweep" in out and "static" in out
+        assert "EP" in out
+
+    def test_plan_reports_cache_coverage(self, capsys, tmp_path):
+        store = tmp_path / "store.jsonl"
+        run_cli(
+            capsys,
+            "run", "--benchmarks", "EP", "--campaign", "static",
+            "--threads", "24", "--stride", "9",
+            "--store", str(store), "--workers", "1",
+        )
+        out = run_cli(
+            capsys,
+            "plan", "--benchmarks", "EP", "--campaign", "static",
+            "--threads", "24", "--stride", "9", "--store", str(store),
+        )
+        assert "already cached:   5 / 5" in out
+
+    def test_rejects_unknown_benchmark(self, capsys):
+        with pytest.raises(SystemExit):
+            main_campaign(["plan", "--benchmarks", "NotABenchmark"])
+
+    def test_library_errors_print_cleanly(self, capsys):
+        code = main_campaign(
+            ["plan", "--benchmarks", "EP", "--campaign", "static", "--stride", "0"]
+        )
+        assert code == 2
+        assert "stride must be >= 1" in capsys.readouterr().err
+
+
+class TestRunCommand:
+    def test_run_twice_hits_cache(self, capsys, tmp_path):
+        store = tmp_path / "store.jsonl"
+        argv = (
+            "run", "--benchmarks", "EP", "--campaign", "static",
+            "--threads", "24", "--stride", "9",
+            "--store", str(store), "--workers", "1",
+        )
+        first = run_cli(capsys, *argv)
+        assert "new simulations: 5" in first
+        assert "cache hits:      0" in first
+        second = run_cli(capsys, *argv)
+        assert "new simulations: 0" in second
+        assert "cache hits:      5" in second
+        assert store.exists()
+
+
+class TestStatusCommand:
+    def test_status_summarises_store(self, capsys, tmp_path):
+        store = tmp_path / "store.jsonl"
+        run_cli(
+            capsys,
+            "run", "--benchmarks", "EP", "--campaign", "static",
+            "--threads", "24", "--stride", "9",
+            "--store", str(store), "--workers", "1",
+        )
+        out = run_cli(capsys, "status", "--store", str(store))
+        assert "results: 5" in out
+        assert "static" in out and "EP" in out
+
+    def test_status_on_missing_store_is_empty(self, capsys, tmp_path):
+        out = run_cli(capsys, "status", "--store", str(tmp_path / "nope.jsonl"))
+        assert "results: 0" in out

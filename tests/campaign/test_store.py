@@ -1,0 +1,117 @@
+"""Tests for the content-addressed on-disk result store."""
+
+import json
+
+import pytest
+
+from repro.campaign.plan import CampaignJob
+from repro.campaign.store import STORE_VERSION, ResultStore, job_key
+from repro.errors import CampaignError
+
+
+@pytest.fixture
+def job():
+    return CampaignJob(app="EP", mode="sweep", threads=24)
+
+
+class TestJobKey:
+    def test_stable_across_calls(self, job):
+        assert job_key(job.descriptor()) == job_key(job.descriptor())
+
+    def test_distinguishes_jobs(self, job):
+        other = CampaignJob(app="EP", mode="sweep", threads=16)
+        assert job_key(job.descriptor()) != job_key(other.descriptor())
+
+    def test_mode_label_is_significant(self):
+        """sweep and static must not share results (different noise)."""
+        sweep = CampaignJob(app="EP", mode="sweep", threads=24)
+        static = CampaignJob(app="EP", mode="static", threads=24)
+        assert job_key(sweep.descriptor()) != job_key(static.descriptor())
+
+    def test_version_mixed_in(self, job):
+        payload = json.dumps(
+            {"store_version": STORE_VERSION, **job.descriptor()}, sort_keys=True
+        )
+        assert "store_version" in payload
+
+
+class TestResultStore:
+    def test_round_trip(self, tmp_path, job):
+        store = ResultStore(tmp_path / "store.jsonl")
+        key = job_key(job.descriptor())
+        assert store.get(key) is None
+        store.put(key, job.descriptor(), {"node_energy_j": 1.25})
+        assert store.get(key) == {"node_energy_j": 1.25}
+        assert key in store and len(store) == 1
+
+    def test_persists_across_reopen(self, tmp_path, job):
+        path = tmp_path / "store.jsonl"
+        key = job_key(job.descriptor())
+        first = ResultStore(path)
+        first.put(key, job.descriptor(), {"node_energy_j": 0.5, "time_s": 2.0})
+        first.close()
+        second = ResultStore(path)
+        assert second.get(key) == {"node_energy_j": 0.5, "time_s": 2.0}
+
+    def test_floats_round_trip_exactly(self, tmp_path, job):
+        path = tmp_path / "store.jsonl"
+        key = job_key(job.descriptor())
+        value = 745.5394528620403
+        store = ResultStore(path)
+        store.put(key, job.descriptor(), {"node_energy_j": value})
+        store.close()
+        assert ResultStore(path).get(key)["node_energy_j"] == value
+
+    def test_corrupt_lines_skipped(self, tmp_path, job):
+        path = tmp_path / "store.jsonl"
+        key = job_key(job.descriptor())
+        record = {"key": key, "job": job.descriptor(), "result": {"time_s": 1.0}}
+        path.write_text(
+            json.dumps(record) + "\n" + '{"truncated": '  # crashed mid-write
+        )
+        store = ResultStore(path)
+        assert store.get(key) == {"time_s": 1.0}
+        assert len(store) == 1
+
+    def test_put_rejects_mismatched_key(self, tmp_path, job):
+        store = ResultStore(tmp_path / "store.jsonl")
+        with pytest.raises(CampaignError):
+            store.put("deadbeef", job.descriptor(), {})
+
+    def test_reput_is_noop(self, tmp_path, job):
+        path = tmp_path / "store.jsonl"
+        key = job_key(job.descriptor())
+        store = ResultStore(path)
+        store.put(key, job.descriptor(), {"time_s": 1.0})
+        store.put(key, job.descriptor(), {"time_s": 99.0})
+        assert store.get(key) == {"time_s": 1.0}
+        store.close()
+        assert len(path.read_text().splitlines()) == 1
+
+    def test_in_memory_store(self, job):
+        store = ResultStore(None)
+        key = job_key(job.descriptor())
+        store.put(key, job.descriptor(), {"time_s": 1.0})
+        assert store.get(key) == {"time_s": 1.0}
+        assert store.summary()["path"] is None
+
+    def test_summary_breakdown(self, tmp_path):
+        store = ResultStore(tmp_path / "store.jsonl")
+        for app, mode, threads in (
+            ("EP", "sweep", 12),
+            ("EP", "sweep", 16),
+            ("CG", "static", 24),
+        ):
+            j = CampaignJob(app=app, mode=mode, threads=threads)
+            store.put(job_key(j.descriptor()), j.descriptor(), {"time_s": 0.0})
+        summary = store.summary()
+        assert summary["results"] == 3
+        assert summary["apps"] == {"CG": 1, "EP": 2}
+        assert summary["modes"] == {"static": 1, "sweep": 2}
+
+    def test_creates_parent_directories(self, tmp_path, job):
+        path = tmp_path / "deep" / "nested" / "store.jsonl"
+        store = ResultStore(path)
+        key = job_key(job.descriptor())
+        store.put(key, job.descriptor(), {"time_s": 1.0})
+        assert path.exists()

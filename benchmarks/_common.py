@@ -11,7 +11,10 @@ computation belonging to each table/figure is measured.
 
 The store lives under ``benchmarks/.cache/`` by default; set
 ``REPRO_BENCH_CACHE_DIR`` to relocate it (tests use a temp dir) or
-``REPRO_CAMPAIGN_WORKERS`` to size the worker pool.
+``REPRO_CAMPAIGN_WORKERS`` to size the worker pool.  Cold-cache
+sessions additionally benefit from the simulator's vectorized replay
+fast path (see ``benchmarks/bench_sim_throughput.py`` for the measured
+per-run speedup).
 
 Training configuration mirrors Section V-B: the deployed model trains on
 the 14 training benchmarks for ten epochs; the LOOCV study retrains with

@@ -8,7 +8,10 @@ stream is keyed through :func:`repro.util.rng.rng_for` by
 order — the payload is bit-identical whether the job runs serially, in
 a worker process, or in a different session entirely.  That property is
 what makes the content-addressed :class:`~repro.campaign.store.ResultStore`
-sound.
+sound.  Jobs execute through the simulator's vectorized replay fast
+path (:mod:`repro.execution.replay`) — itself bit-identical to the
+recursive engine — so stores written before and after the fast path
+agree.
 
 Payload layout by mode:
 
@@ -64,7 +67,13 @@ def default_worker_count() -> int:
 
 
 class _PhaseCounterCollector:
-    """RunListener summing phase-region counter totals (Section III-C)."""
+    """RunListener summing phase-region counter totals (Section III-C).
+
+    The production path for ``counters`` jobs is the simulator's
+    vectorized :meth:`~repro.execution.simulator.ExecutionSimulator.run_phase_counters`
+    fast path; this listener remains the reference implementation over
+    the generic engine (the equivalence tests pin both to the bit).
+    """
 
     def __init__(self, counters: tuple[str, ...]):
         self.counters = counters
@@ -100,17 +109,15 @@ def execute_job(
     node.set_frequencies(job.core_freq_ghz, job.uncore_freq_ghz)
     simulator = ExecutionSimulator(node, seed=job.seed)
     if job.mode == "counters":
-        collector = _PhaseCounterCollector(job.counters)
-        simulator.run(
+        product = simulator.run_phase_counters(
             app,
             threads=job.threads,
-            listeners=(collector,),
-            collect_counters=True,
+            counters=job.counters,
             run_key=job.run_key(),
         )
         return {
-            "totals": dict(collector.totals),
-            "phase_time_s": collector.phase_time,
+            "totals": dict(product.totals),
+            "phase_time_s": product.phase_time_s,
         }
     run = simulator.run(app, threads=job.threads, run_key=job.run_key())
     return {

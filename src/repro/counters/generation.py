@@ -13,10 +13,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro import config
 from repro.counters.papi import PAPI_PRESETS
 from repro.errors import CounterError
-from repro.util.rng import rng_for
+from repro.util.rng import StreamPrefix, batched_lognormal, rng_for
 from repro.workloads.characteristics import WorkloadCharacteristics
 
 #: Multiplicative run-to-run counter noise (sigma of the lognormal).
@@ -41,6 +43,39 @@ def exact_counters(
     chars: WorkloadCharacteristics, ctx: MeasurementContext
 ) -> dict[str, float]:
     """Noise-free counter values (totals per region instance)."""
+    return _counter_values(
+        chars,
+        cycles=ctx.total_cycles,
+        ref_cycles=ctx.elapsed_s * 2.5e9 * ctx.threads,  # TSC reference clock
+        minimum=min,
+        maximum=max,
+    )
+
+
+def exact_counters_batch(
+    chars: WorkloadCharacteristics, ctx: MeasurementContext
+) -> dict[str, float | np.ndarray]:
+    """Noise-free counters for a *vector* measurement context.
+
+    ``ctx.elapsed_s`` is an array of per-iteration elapsed times; the
+    frequency-independent counters come back as scalars (they do not
+    vary across iterations) and the cycle family as arrays.  Every
+    element equals the scalar :func:`exact_counters` evaluated at that
+    iteration's context, bitwise.
+    """
+    return _counter_values(
+        chars,
+        cycles=ctx.total_cycles,
+        ref_cycles=ctx.elapsed_s * 2.5e9 * ctx.threads,
+        minimum=np.minimum,
+        maximum=np.maximum,
+    )
+
+
+def _counter_values(
+    chars: WorkloadCharacteristics, *, cycles, ref_cycles, minimum, maximum
+) -> dict:
+    """The 56 preset formulas, generic over scalar/array cycle inputs."""
     ins = chars.instructions
     cond = ins * chars.cond_branch_frac
     taken = cond * chars.branch_taken_frac
@@ -58,8 +93,7 @@ def exact_counters(
     flops = ins * chars.flop_frac
     sp_ops = flops * chars.sp_fraction
     dp_ops = flops - sp_ops
-    cycles = ctx.total_cycles
-    stall = min(chars.stall_cycles, 0.95 * cycles)
+    stall = minimum(chars.stall_cycles, 0.95 * cycles)
 
     values = {
         "PAPI_TOT_INS": ins,
@@ -112,13 +146,13 @@ def exact_counters(
         "PAPI_TLB_IM": ins * chars.tlb_im_rate,
         # Cycle family (context dependent)
         "PAPI_TOT_CYC": cycles,
-        "PAPI_REF_CYC": ctx.elapsed_s * 2.5e9 * ctx.threads,  # TSC reference clock
+        "PAPI_REF_CYC": ref_cycles,
         "PAPI_RES_STL": stall,
         "PAPI_MEM_WCY": stall * (1.0 - chars.load_share) * 0.5,
         "PAPI_STL_ICY": stall * 0.6,
         "PAPI_STL_CCY": stall * 0.8,
-        "PAPI_FUL_ICY": max(0.0, cycles - stall) * 0.25,
-        "PAPI_FUL_CCY": max(0.0, cycles - stall) * 0.15,
+        "PAPI_FUL_ICY": maximum(0.0, cycles - stall) * 0.25,
+        "PAPI_FUL_CCY": maximum(0.0, cycles - stall) * 0.15,
         # Floating point
         "PAPI_FP_OPS": flops,
         "PAPI_SP_OPS": sp_ops,
@@ -159,4 +193,33 @@ class CounterGenerator:
         return {
             name: value * float(n)
             for (name, value), n in zip(exact.items(), noise)
+        }
+
+    def sample_batch(
+        self,
+        chars: WorkloadCharacteristics,
+        ctx: MeasurementContext,
+        *,
+        key_prefix: tuple = (),
+    ) -> dict[str, np.ndarray]:
+        """Noisy counters for all iterations of one region at once.
+
+        ``ctx.elapsed_s`` is the per-iteration elapsed-time vector; row
+        ``i`` of every returned array is bit-identical to
+        ``sample(chars, ctx_i, key=(*key_prefix, i))`` — the iteration
+        index extends the key exactly as the scalar path builds it, and
+        the noise factors come from the same per-key streams via the
+        batched draw machinery in :mod:`repro.util.rng`.
+        """
+        iterations = len(ctx.elapsed_s)
+        exact = exact_counters_batch(chars, ctx)
+        prefix = StreamPrefix("papi", *key_prefix, seed=self._seed)
+        noise = batched_lognormal(
+            prefix.seeds_for_iterations(iterations),
+            COUNTER_NOISE_SIGMA,
+            size=len(exact),
+        )
+        return {
+            name: value * noise[:, column]
+            for column, (name, value) in enumerate(exact.items())
         }

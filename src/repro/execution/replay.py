@@ -1,0 +1,537 @@
+"""Vectorized phase-replay fast path for the execution simulator.
+
+An *uncontrolled* run — no RRL/PCP controller, no listeners — is fully
+determined once the operating point is fixed: frequencies never change
+mid-run, the instrumentation filter is static, and the region tree is
+walked the same way every phase iteration.  Instead of recursing through
+the tree ``phase_iterations`` times, this module compiles the phase
+subtree **once** per run into flat schedules —
+
+* per-region base durations, power-component rates and probe overheads,
+* the ordered sequence of *charge slots* (body and probe charges in
+  traversal order) with their subtree spans,
+
+— then replays all ``phase_iterations x instances`` in bulk: the keyed
+lognormal time-noise factors are drawn through the batched RNG layer
+(cached BLAKE2b digest prefixes, one reusable bit generator), the node's
+meters advance through the bulk RAPL/HDEEM deposit APIs, and the
+:class:`~repro.execution.simulator.RegionInstance` rows are materialised
+lazily on first access.
+
+The output is **bit-identical** to the recursive engine, which remains
+the generic path for controlled/observed runs.  Identity holds because
+every floating-point expression replays the recursive path's operation
+order exactly: elementwise numpy arithmetic performs the same IEEE-754
+operations per element, sequential ``+=`` accumulations map to
+``np.cumsum``/``np.add.accumulate`` (strict left folds), and the noise
+streams come from the same keyed generators (see
+:mod:`repro.util.rng`).  ``tests/execution/test_replay_equivalence.py``
+locks the equivalence down across applications, operating points and
+nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import config
+from repro.counters.generation import MeasurementContext
+from repro.execution.timing import RegionTiming, region_timing
+from repro.util.rng import StreamPrefix, batched_lognormal
+from repro.workloads.application import Application
+from repro.workloads.region import Region
+
+
+@dataclass
+class _Slot:
+    """One region of the flattened phase subtree (pre-order)."""
+
+    region: Region
+    children: tuple[int, ...]
+    has_work: bool
+    probed: bool                  #: probe overhead applies to this region
+    timing: RegionTiming | None
+    base_time_s: float            #: noise-free body duration
+    node_w: float                 #: body power components ...
+    package_w: float
+    dram_w: float
+    cpu_fraction: float           #: CPU share of the body's node power
+    probe_s: float                #: per-instance instrumentation overhead
+    work_index: int               #: row in the work-region arrays, -1
+    charge_start: int             #: subtree's span in the charge sequence
+    charge_end: int
+
+
+@dataclass
+class _Schedule:
+    """The compiled per-iteration execution plan of one phase subtree."""
+
+    slots: tuple[_Slot, ...]
+    post_order: tuple[int, ...]
+    charges: tuple[tuple[int, bool], ...]   #: (slot index, is_probe)
+    base_times: np.ndarray                  #: (W,) work-region durations
+    charge_node_w: np.ndarray               #: (C,) per charge slot
+    charge_package_w: np.ndarray
+    charge_dram_w: np.ndarray
+    probe_per_iteration: np.ndarray         #: probe overheads, charge order
+    num_work: int
+
+
+def _compile(
+    app: Application,
+    node,
+    threads: int,
+    core_freq_ghz: float,
+    uncore_freq_ghz: float,
+    instrumented: bool,
+    instrumentation,
+) -> _Schedule:
+    """Flatten the phase subtree into the replay schedule.
+
+    Timings and power breakdowns are evaluated once per *region* here
+    (both memoised underneath), instead of once per region *instance*
+    as the recursive engine does.
+    """
+    slots: list[_Slot | None] = []
+    charges: list[tuple[int, bool]] = []
+    work_count = 0
+    probe_breakdown = None
+
+    def visit(region: Region) -> int:
+        nonlocal work_count, probe_breakdown
+        index = len(slots)
+        slots.append(None)
+        charge_start = len(charges)
+        probed = instrumented and (
+            instrumentation is None or instrumentation.is_instrumented(region)
+        )
+        timing = None
+        base_time = node_w = package_w = dram_w = cpu_fraction = 0.0
+        work_index = -1
+        if region.has_work:
+            timing = region_timing(
+                region.characteristics,
+                threads=threads,
+                core_freq_ghz=core_freq_ghz,
+                uncore_freq_ghz=uncore_freq_ghz,
+            )
+            breakdown = node.power_model.power(
+                core_freq_ghz=core_freq_ghz,
+                uncore_freq_ghz=uncore_freq_ghz,
+                active_threads=threads,
+                core_activity=timing.core_activity,
+                uncore_activity=timing.uncore_activity,
+                membw_gbs=timing.membw_gbs,
+            )
+            base_time = timing.time_s
+            node_w = breakdown.node_w
+            package_w = breakdown.rapl_package_w
+            dram_w = breakdown.rapl_dram_w
+            cpu_fraction = breakdown.cpu_w / breakdown.node_w
+            work_index = work_count
+            work_count += 1
+            charges.append((index, False))
+        probe_s = 0.0
+        if probed:
+            if probe_breakdown is None:
+                probe_breakdown = node.power_model.power(
+                    core_freq_ghz=core_freq_ghz,
+                    uncore_freq_ghz=uncore_freq_ghz,
+                    active_threads=threads,
+                    core_activity=1.0,
+                    uncore_activity=0.1,
+                    membw_gbs=0.0,
+                )
+            events = 2 + region.internal_events
+            probe_s = events * region.calls_per_phase * config.SCOREP_PROBE_OVERHEAD_S
+            charges.append((index, True))
+        children = tuple(visit(child) for child in region.children)
+        slots[index] = _Slot(
+            region=region,
+            children=children,
+            has_work=region.has_work,
+            probed=probed,
+            timing=timing,
+            base_time_s=base_time,
+            node_w=node_w,
+            package_w=package_w,
+            dram_w=dram_w,
+            cpu_fraction=cpu_fraction,
+            probe_s=probe_s,
+            work_index=work_index,
+            charge_start=charge_start,
+            charge_end=len(charges),
+        )
+        return index
+
+    visit(app.phase)
+    compiled = tuple(slots)  # type: ignore[arg-type]
+
+    post_order: list[int] = []
+
+    def order(index: int) -> None:
+        for child in compiled[index].children:
+            order(child)
+        post_order.append(index)
+
+    order(0)
+
+    charge_node_w = np.empty(len(charges))
+    charge_package_w = np.empty(len(charges))
+    charge_dram_w = np.empty(len(charges))
+    for c, (index, is_probe) in enumerate(charges):
+        if is_probe:
+            charge_node_w[c] = probe_breakdown.node_w
+            charge_package_w[c] = probe_breakdown.rapl_package_w
+            charge_dram_w[c] = probe_breakdown.rapl_dram_w
+        else:
+            slot = compiled[index]
+            charge_node_w[c] = slot.node_w
+            charge_package_w[c] = slot.package_w
+            charge_dram_w[c] = slot.dram_w
+    base_times = np.array(
+        [s.base_time_s for s in compiled if s.has_work], dtype=float
+    )
+    probe_per_iteration = np.array(
+        [compiled[index].probe_s for index, is_probe in charges if is_probe],
+        dtype=float,
+    )
+    return _Schedule(
+        slots=compiled,
+        post_order=tuple(post_order),
+        charges=tuple(charges),
+        base_times=base_times,
+        charge_node_w=charge_node_w,
+        charge_package_w=charge_package_w,
+        charge_dram_w=charge_dram_w,
+        probe_per_iteration=probe_per_iteration,
+        num_work=work_count,
+    )
+
+
+@dataclass
+class _ReplayState:
+    """Intermediates shared between the run replay, the lazy instance
+    materialisation and the counter synthesis."""
+
+    schedule: _Schedule
+    iterations: int
+    durations_work: np.ndarray   #: (W, I) noisy body durations
+    timeline: np.ndarray         #: clock after each charge, leading start
+
+    def body_times(self) -> list:
+        """Per slot: (I,) body elapsed time (duration plus probe)."""
+        times: list = [None] * len(self.schedule.slots)
+        zeros = np.zeros(self.iterations)
+        for k, slot in enumerate(self.schedule.slots):
+            time = None
+            if slot.has_work:
+                time = self.durations_work[slot.work_index]
+            if slot.probed:
+                time = (
+                    time + slot.probe_s
+                    if time is not None
+                    else np.full(self.iterations, slot.probe_s)
+                )
+            times[k] = time if time is not None else zeros
+        return times
+
+    def region_times(self) -> tuple[np.ndarray, np.ndarray]:
+        """(enter, inclusive duration) matrices of shape (I, K)."""
+        num_charges = len(self.schedule.charges)
+        offsets = np.arange(self.iterations) * num_charges
+        enter_index = np.array([s.charge_start for s in self.schedule.slots])
+        exit_index = np.array([s.charge_end for s in self.schedule.slots])
+        enter = self.timeline[offsets[:, None] + enter_index[None, :]]
+        total = self.timeline[offsets[:, None] + exit_index[None, :]] - enter
+        return enter, total
+
+
+def _replay(sim, app: Application, schedule: _Schedule, run_key: tuple, result):
+    """Execute the compiled schedule in bulk, filling ``result``."""
+    from repro.execution.simulator import (
+        TIME_NOISE_SIGMA,
+        InstanceLog,
+        RegionInstance,
+    )
+
+    node = sim.node
+    slots = schedule.slots
+    iterations = app.phase_iterations
+    num_slots = len(slots)
+    num_charges = len(schedule.charges)
+
+    start_time = node.now_s
+    start_cpu_j = node.rapl.read_cpu_energy_joules()
+
+    # -- keyed time noise, batched over (work region x iteration) ----------
+    if schedule.num_work:
+        seeds = np.empty((schedule.num_work, iterations), dtype=np.uint64)
+        for slot in slots:
+            if slot.has_work:
+                prefix = StreamPrefix(
+                    "time", node.node_id, run_key, slot.region.name, seed=sim.seed
+                )
+                seeds[slot.work_index] = prefix.seeds_for_iterations(iterations)
+        noise = batched_lognormal(seeds.reshape(-1), TIME_NOISE_SIGMA)
+        durations_work = schedule.base_times[:, None] * noise.reshape(
+            schedule.num_work, iterations
+        )
+    else:
+        durations_work = np.empty((0, iterations))
+
+    # -- the charge sequence (iteration-major, traversal order) ------------
+    charge_matrix = np.empty((iterations, num_charges))
+    for c, (index, is_probe) in enumerate(schedule.charges):
+        slot = slots[index]
+        if is_probe:
+            charge_matrix[:, c] = slot.probe_s
+        else:
+            charge_matrix[:, c] = durations_work[slot.work_index]
+    flat_durations = charge_matrix.reshape(-1)
+    flat_node_w = np.tile(schedule.charge_node_w, iterations)
+
+    # Simulated clock after each charge; cumsum is a strict left fold, so
+    # every value matches the recursive engine's repeated ``+=``.
+    timeline = np.cumsum(np.concatenate(([start_time], flat_durations)))
+
+    # -- meters: one bulk advance instead of one call per charge -----------
+    node.advance_many(
+        flat_durations,
+        flat_node_w,
+        np.tile(schedule.charge_package_w, iterations),
+        np.tile(schedule.charge_dram_w, iterations),
+    )
+
+    if num_charges:
+        flat_joules = flat_node_w * flat_durations
+        result.node_energy_j = float(np.add.accumulate(flat_joules)[-1])
+    if schedule.probe_per_iteration.size:
+        result.instrumentation_time_s = float(
+            np.add.accumulate(
+                np.tile(schedule.probe_per_iteration, iterations)
+            )[-1]
+        )
+
+    result.time_s = node.now_s - start_time
+    result.cpu_energy_j = node.rapl.read_cpu_energy_joules() - start_cpu_j
+
+    state = _ReplayState(
+        schedule=schedule,
+        iterations=iterations,
+        durations_work=durations_work,
+        timeline=timeline,
+    )
+
+    # -- lazy row materialisation ------------------------------------------
+    # Everything per-instance (entry times, inclusive energies, CPU
+    # shares) is needed only when the rows are inspected, so the whole
+    # derivation lives in the deferred producer; sweep-style runs that
+    # read aggregate fields never pay for it.
+    point = result.operating_point
+
+    def materialise() -> list:
+        enter, total_time = state.region_times()
+        body_time = state.body_times()
+
+        zeros = np.zeros(iterations)
+        body_energy: list = [None] * num_slots
+        for k, slot in enumerate(slots):
+            energy = None
+            if slot.has_work:
+                energy = slot.node_w * durations_work[slot.work_index]
+            if slot.probed:
+                probe_joules = (
+                    schedule.charge_node_w[
+                        slot.charge_start + (1 if slot.has_work else 0)
+                    ]
+                    * slot.probe_s
+                )
+                energy = (
+                    energy + probe_joules
+                    if energy is not None
+                    else np.full(iterations, probe_joules)
+                )
+            body_energy[k] = energy if energy is not None else zeros
+
+        # Inclusive energies: children accumulate in child order, own
+        # body first — the recursive engine's exact expression tree.
+        inclusive: list = [None] * num_slots
+        for k in range(num_slots - 1, -1, -1):
+            children_energy = None
+            for child in slots[k].children:
+                children_energy = (
+                    inclusive[child]
+                    if children_energy is None
+                    else children_energy + inclusive[child]
+                )
+            if children_energy is None:
+                children_energy = 0.0
+            inclusive[k] = body_energy[k] + children_energy
+
+        cpu_energy: list = [None] * num_slots
+        for k, slot in enumerate(slots):
+            if slot.has_work:
+                cpu_energy[k] = np.where(
+                    body_time[k] > 0, body_energy[k] * slot.cpu_fraction, 0.0
+                )
+            else:
+                cpu_energy[k] = zeros
+
+        rows = []
+        append = rows.append
+        for i in range(iterations):
+            for k in schedule.post_order:
+                slot = slots[k]
+                append(
+                    RegionInstance(
+                        region_name=slot.region.name,
+                        iteration=i,
+                        start_s=float(enter[i, k]),
+                        time_s=float(total_time[i, k]),
+                        node_energy_j=float(inclusive[k][i]),
+                        cpu_energy_j=float(cpu_energy[k][i]),
+                        operating_point=point,
+                        timing=slot.timing,
+                    )
+                )
+        return rows
+
+    result.instances = InstanceLog.deferred(materialise)
+    return state
+
+
+def replay_run(
+    sim,
+    app: Application,
+    *,
+    threads: int,
+    instrumented: bool,
+    instrumentation,
+    run_key: tuple,
+):
+    """Run ``app`` through the fast path; returns the filled RunResult."""
+    from repro.execution.simulator import OperatingPoint, RunResult
+
+    node = sim.node
+    core_freq_ghz = node.core_freq_ghz
+    uncore_freq_ghz = node.uncore_freq_ghz
+    result = RunResult(
+        app_name=app.name,
+        node_id=node.node_id,
+        operating_point=OperatingPoint(
+            core_freq_ghz=core_freq_ghz,
+            uncore_freq_ghz=uncore_freq_ghz,
+            threads=threads,
+        ),
+        engine="replay",
+    )
+    schedule = _compile(
+        app, node, threads, core_freq_ghz, uncore_freq_ghz,
+        instrumented, instrumentation,
+    )
+    _replay(sim, app, schedule, run_key, result)
+    return result
+
+
+@dataclass(frozen=True)
+class PhaseCounterRun:
+    """A fast-path instrumented run plus its phase counter totals.
+
+    Field-for-field equivalent to running the generic engine with a
+    phase-counter collector listener (``collect_counters=True``) and
+    summing the phase region's inclusive metrics.
+    """
+
+    result: object                #: the RunResult of the instrumented run
+    totals: dict[str, float]      #: summed phase counter totals
+    phase_time_s: float           #: accumulated phase time over the run
+
+
+def replay_phase_counters(
+    sim,
+    app: Application,
+    *,
+    threads: int,
+    counters: tuple[str, ...],
+    run_key: tuple,
+) -> PhaseCounterRun:
+    """Instrumented fast-path run with vectorized counter synthesis.
+
+    Replays the run (instrumented, unfiltered — the configuration the
+    campaign engine's ``counters`` mode uses), then derives every work
+    region's 56 preset values for all iterations in one batch and folds
+    them up the tree in the recursive engine's merge order.
+    """
+    from repro.execution.simulator import OperatingPoint, RunResult
+
+    node = sim.node
+    core_freq_ghz = node.core_freq_ghz
+    uncore_freq_ghz = node.uncore_freq_ghz
+    point = OperatingPoint(
+        core_freq_ghz=core_freq_ghz,
+        uncore_freq_ghz=uncore_freq_ghz,
+        threads=threads,
+    )
+    result = RunResult(
+        app_name=app.name,
+        node_id=node.node_id,
+        operating_point=point,
+        engine="replay",
+    )
+    schedule = _compile(
+        app, node, threads, core_freq_ghz, uncore_freq_ghz, True, None
+    )
+    state = _replay(sim, app, schedule, run_key, result)
+
+    slots = schedule.slots
+    iterations = state.iterations
+    body_time = state.body_times()
+    generator = sim._counter_generator
+    names: tuple[str, ...] = ()
+    own_matrix: list = [None] * len(slots)
+    for k, slot in enumerate(slots):
+        if not slot.has_work:
+            continue
+        ctx = MeasurementContext(
+            elapsed_s=body_time[k],
+            core_freq_ghz=point.core_freq_ghz,
+            threads=threads,
+        )
+        sampled = generator.sample_batch(
+            slot.region.characteristics,
+            ctx,
+            key_prefix=(node.node_id, run_key, slot.region.name),
+        )
+        if not names:
+            names = tuple(sampled)
+        own_matrix[k] = np.column_stack(list(sampled.values()))
+
+    # Inclusive counter fold: children in order, own last — exactly the
+    # dict-merge order of the recursive engine.  Regions whose subtree
+    # holds no work contribute nothing (empty dict merge).
+    inclusive: list = [None] * len(slots)
+    for k in range(len(slots) - 1, -1, -1):
+        acc = None
+        for child in slots[k].children:
+            if inclusive[child] is None:
+                continue
+            acc = inclusive[child] if acc is None else acc + inclusive[child]
+        if own_matrix[k] is not None:
+            acc = own_matrix[k] if acc is None else acc + own_matrix[k]
+        inclusive[k] = acc
+
+    phase_matrix = inclusive[0]
+    column = {name: j for j, name in enumerate(names)}
+    totals = {}
+    for counter in counters:
+        j = column.get(counter)
+        if phase_matrix is None or j is None:
+            totals[counter] = 0.0
+        else:
+            totals[counter] = float(np.add.accumulate(phase_matrix[:, j])[-1])
+    _, total_time = state.region_times()
+    phase_time_s = float(np.add.accumulate(total_time[:, 0])[-1])
+    return PhaseCounterRun(result=result, totals=totals, phase_time_s=phase_time_s)

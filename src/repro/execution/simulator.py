@@ -14,6 +14,20 @@ point and a :class:`~repro.hardware.node.ComputeNode`, the simulator
 
 Controllers and listeners observe the run exactly like their real
 counterparts: through region enter/exit callbacks.
+
+Two execution engines produce the same results:
+
+* the **generic recursive engine** in this module — region-by-region
+  tree walking with callbacks, required whenever a controller may
+  reprogram the hardware mid-run or listeners observe events;
+* the **vectorized replay engine** (:mod:`repro.execution.replay`) —
+  for uncontrolled, unobserved runs (the dataset-build / exhaustive
+  search / benchmark common case) the region schedule is compiled once
+  and all ``phase_iterations x instances`` replay in bulk, bit-identical
+  to the recursion and an order of magnitude faster.
+
+:meth:`ExecutionSimulator.run` dispatches automatically; the
+``fast_path`` parameter overrides the choice.
 """
 
 from __future__ import annotations
@@ -88,9 +102,99 @@ class RegionInstance:
     timing: RegionTiming | None
 
 
+class InstanceLog:
+    """Append-only sequence of :class:`RegionInstance` rows.
+
+    Behaves like a list (iteration, indexing, equality against lists)
+    with two performance features on top:
+
+    * rows can be *deferred*: the replay fast path registers a producer
+      callback and the rows materialise only when first accessed, so
+      runs whose instances are never inspected (energy sweeps, static
+      searches) skip building them entirely;
+    * per-region lookups are served from a name index built on first
+      use and maintained across :meth:`append`, turning the previous
+      full-scan-per-call access pattern into a dict hit.
+    """
+
+    __slots__ = ("_items", "_producer", "_index")
+
+    def __init__(self, items=None):
+        self._items: list[RegionInstance] = list(items) if items is not None else []
+        self._producer = None
+        self._index: dict[str, list[RegionInstance]] | None = None
+
+    @classmethod
+    def deferred(cls, producer) -> "InstanceLog":
+        """A log whose rows come from ``producer()`` on first access."""
+        log = cls()
+        log._producer = producer
+        return log
+
+    def _materialise(self) -> None:
+        if self._producer is not None:
+            items = self._producer()
+            self._producer = None  # only after success, so a failed
+            self._items = items    # producer run can be retried
+            self._index = None
+
+    def append(self, instance: RegionInstance) -> None:
+        self._materialise()
+        self._items.append(instance)
+        if self._index is not None:
+            self._index.setdefault(instance.region_name, []).append(instance)
+
+    def by_region(self, name: str) -> list[RegionInstance]:
+        """All rows of one region, in execution order."""
+        self._materialise()
+        if self._index is None:
+            index: dict[str, list[RegionInstance]] = {}
+            for instance in self._items:
+                index.setdefault(instance.region_name, []).append(instance)
+            self._index = index
+        return list(self._index.get(name, ()))
+
+    def __len__(self) -> int:
+        self._materialise()
+        return len(self._items)
+
+    def __iter__(self):
+        self._materialise()
+        return iter(self._items)
+
+    def __getitem__(self, item):
+        self._materialise()
+        return self._items[item]
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, InstanceLog):
+            other._materialise()
+            other = other._items
+        if isinstance(other, (list, tuple)):
+            self._materialise()
+            return self._items == list(other)
+        return NotImplemented
+
+    __hash__ = None
+
+    def __repr__(self) -> str:
+        if self._producer is not None:
+            return "InstanceLog(<deferred>)"
+        return f"InstanceLog({len(self._items)} instances)"
+
+    def __reduce__(self):
+        self._materialise()
+        return (InstanceLog, (self._items,))
+
+
 @dataclass
 class RunResult:
-    """Outcome of one application run on one node."""
+    """Outcome of one application run on one node.
+
+    ``engine`` records which execution path produced the result
+    (``"generic"`` recursion or the vectorized ``"replay"`` fast path);
+    it is excluded from equality because the two paths are bit-identical.
+    """
 
     app_name: str
     node_id: int
@@ -100,10 +204,11 @@ class RunResult:
     cpu_energy_j: float = 0.0
     switching_time_s: float = 0.0
     instrumentation_time_s: float = 0.0
-    instances: list[RegionInstance] = field(default_factory=list)
+    instances: InstanceLog = field(default_factory=InstanceLog)
+    engine: str = field(default="generic", compare=False)
 
     def region_instances(self, name: str) -> list[RegionInstance]:
-        return [i for i in self.instances if i.region_name == name]
+        return self.instances.by_region(name)
 
     def region_time_s(self, name: str) -> float:
         return sum(i.time_s for i in self.region_instances(name))
@@ -136,6 +241,7 @@ class ExecutionSimulator:
         listeners: tuple[RunListener, ...] = (),
         collect_counters: bool = False,
         run_key: tuple = (),
+        fast_path: bool | None = None,
     ) -> RunResult:
         """Execute ``app`` once on this simulator's node.
 
@@ -160,6 +266,15 @@ class ExecutionSimulator:
         run_key:
             Label mixed into the noise streams so repeated runs differ
             reproducibly.
+        fast_path:
+            Engine selection.  ``None`` (default) picks automatically:
+            runs without a controller and without listeners replay
+            through the vectorized fast path
+            (:mod:`repro.execution.replay`), which is bit-identical to
+            the recursive engine; controlled/observed runs use the
+            generic recursion.  ``False`` forces the generic engine,
+            ``True`` demands the fast path and raises if the run is not
+            eligible.
         """
         if listeners or instrumentation is not None:
             instrumented = True
@@ -168,6 +283,25 @@ class ExecutionSimulator:
             threads = app.default_threads
         if not 1 <= threads <= self.node.topology.num_cores:
             raise WorkloadError(f"invalid thread count: {threads}")
+
+        eligible = controller is None and not listeners
+        if fast_path is None:
+            fast_path = eligible
+        elif fast_path and not eligible:
+            raise WorkloadError(
+                "fast_path requires a run without controller and listeners"
+            )
+        if fast_path:
+            from repro.execution.replay import replay_run
+
+            return replay_run(
+                self,
+                app,
+                threads=threads,
+                instrumented=instrumented,
+                instrumentation=instrumentation,
+                run_key=run_key,
+            )
 
         result = RunResult(
             app_name=app.name,
@@ -192,6 +326,34 @@ class ExecutionSimulator:
         result.time_s = self.node.now_s - start_time
         result.cpu_energy_j = self.node.rapl.read_cpu_energy_joules() - start_cpu_j
         return result
+
+    # ------------------------------------------------------------------
+    def run_phase_counters(
+        self,
+        app: Application,
+        *,
+        threads: int | None = None,
+        counters: tuple[str, ...],
+        run_key: tuple = (),
+    ):
+        """Instrumented fast-path run returning phase counter totals.
+
+        Fast-path equivalent of running with a listener that sums the
+        phase region's inclusive counter metrics (the campaign engine's
+        ``counters`` mode): the returned
+        :class:`~repro.execution.replay.PhaseCounterRun` carries totals
+        and accumulated phase time bit-identical to that listener path.
+        """
+        from repro.execution.replay import replay_phase_counters
+
+        threads = threads if threads is not None else app.default_threads
+        if not app.model.supports_thread_tuning:
+            threads = app.default_threads
+        if not 1 <= threads <= self.node.topology.num_cores:
+            raise WorkloadError(f"invalid thread count: {threads}")
+        return replay_phase_counters(
+            self, app, threads=threads, counters=tuple(counters), run_key=run_key
+        )
 
     # ------------------------------------------------------------------
     def _current_point(self, threads: int) -> OperatingPoint:

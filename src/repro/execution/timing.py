@@ -18,6 +18,7 @@ CF optimum); and both suffer when either knob goes too low.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro import config
 from repro.execution.speedup import memory_bandwidth_gbs, thread_speedup
@@ -50,7 +51,23 @@ def region_timing(
     core_freq_ghz: float,
     uncore_freq_ghz: float,
 ) -> RegionTiming:
-    """Evaluate the timing model for one region instance."""
+    """Evaluate the timing model for one region instance.
+
+    The model is a pure function of frozen inputs and the simulator
+    re-evaluates it once per region *instance* (phase iterations times
+    regions per run), so results are memoised; callers receive a shared
+    frozen :class:`RegionTiming`.
+    """
+    return _region_timing_cached(chars, threads, core_freq_ghz, uncore_freq_ghz)
+
+
+@lru_cache(maxsize=32768)
+def _region_timing_cached(
+    chars: WorkloadCharacteristics,
+    threads: int,
+    core_freq_ghz: float,
+    uncore_freq_ghz: float,
+) -> RegionTiming:
     speedup = thread_speedup(threads, chars.parallel_fraction, chars.thread_overhead)
     t_c = chars.compute_cycles / (core_freq_ghz * 1e9 * speedup)
     bandwidth = memory_bandwidth_gbs(uncore_freq_ghz, threads)

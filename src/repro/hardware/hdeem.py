@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro import config
 from repro.errors import HardwareError
 from repro.util.rng import rng_for
@@ -57,6 +59,12 @@ class HdeemMonitor:
         self._seed = seed
         self._now_s = 0.0
         self._segments: list[_Segment] = []
+        #: Power timeline recorded but not yet materialised as _Segment
+        #: rows: (duration, power) scalars from :meth:`advance` and array
+        #: blocks from :meth:`advance_many`, in arrival order.  The FPGA
+        #: only needs the timeline when a window is integrated, so row
+        #: objects are built lazily (:meth:`_flush`).
+        self._pending: list[tuple] = []
         self._window_start: float | None = None
         self._measurement_index = 0
 
@@ -67,8 +75,44 @@ class HdeemMonitor:
             raise HardwareError("cannot advance time backwards")
         if duration_s == 0:
             return
-        self._segments.append(_Segment(duration_s, node_power_w))
+        self._pending.append((duration_s, node_power_w))
         self._now_s += duration_s
+
+    def advance_many(self, durations_s, node_powers_w) -> None:
+        """Record a block of ``(duration, power)`` segments in one call.
+
+        Semantically identical to calling :meth:`advance` per segment
+        (zero durations are skipped, time accumulates in sequence order);
+        the segment rows are materialised lazily on the next window
+        integration.  Used by the execution simulator's replay fast path.
+        """
+        durations_s = np.asarray(durations_s, dtype=float)
+        if durations_s.size == 0:
+            return
+        if float(durations_s.min()) < 0:
+            raise HardwareError("cannot advance time backwards")
+        node_powers_w = np.asarray(node_powers_w, dtype=float)
+        nonzero = durations_s > 0
+        if nonzero.any():
+            self._pending.append((durations_s[nonzero], node_powers_w[nonzero]))
+        # Sequential left-to-right accumulation (np.cumsum), bit-identical
+        # to the per-segment ``+=`` of advance(); zero durations are
+        # exact no-ops either way.
+        self._now_s = float(
+            np.cumsum(np.concatenate(([self._now_s], durations_s)))[-1]
+        )
+
+    def _flush(self) -> None:
+        """Materialise pending timeline blocks into _Segment rows."""
+        if not self._pending:
+            return
+        segments = self._segments
+        for durations, powers in self._pending:
+            if isinstance(durations, np.ndarray):
+                segments.extend(map(_Segment, durations.tolist(), powers.tolist()))
+            else:
+                segments.append(_Segment(durations, powers))
+        self._pending.clear()
 
     @property
     def now_s(self) -> float:
@@ -103,6 +147,7 @@ class HdeemMonitor:
         granularity: each sample takes the power at the sample instant and
         charges it for one sample period.
         """
+        self._flush()
         period = 1.0 / config.HDEEM_SAMPLE_RATE_HZ
         # Build cumulative segment boundaries once per integration.
         energy = 0.0

@@ -15,6 +15,8 @@ energy into every meter consistently.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro import config
 from repro.errors import HardwareError
 from repro.hardware.frequency import DVFSController, UFSController
@@ -122,6 +124,48 @@ class ComputeNode:
         for acc in self._rapl_accumulators:
             acc.deposit(RaplDomain.PACKAGE, breakdown.rapl_package_w * duration_s / n)
             acc.deposit(RaplDomain.DRAM, breakdown.rapl_dram_w * duration_s / n)
+
+    def advance_many(
+        self,
+        durations_s,
+        node_powers_w,
+        rapl_package_powers_w,
+        rapl_dram_powers_w,
+    ) -> None:
+        """Advance through a sequence of charge segments in bulk.
+
+        Equivalent — to the bit — to calling :meth:`advance` once per
+        segment with a breakdown carrying the given component powers:
+        time accumulates in sequence order, HDEEM records the same
+        timeline, and the per-socket RAPL deposits replay the identical
+        residual arithmetic.  Zero-length segments are no-ops, as in
+        :meth:`advance`.  This is the meter backend of the execution
+        simulator's replay fast path.
+        """
+        durations_s = np.asarray(durations_s, dtype=float)
+        if durations_s.size == 0:
+            return
+        if float(durations_s.min()) < 0:
+            raise HardwareError("cannot advance time backwards")
+        node_powers_w = np.asarray(node_powers_w, dtype=float)
+        # Sequential accumulation (cumsum == repeated ``+=``), seeded
+        # with the current clock.
+        self._now_s = float(
+            np.cumsum(np.concatenate(([self._now_s], durations_s)))[-1]
+        )
+        self.hdeem.advance_many(durations_s, node_powers_w)
+        n = len(self._rapl_accumulators)
+        package_j = np.asarray(rapl_package_powers_w, dtype=float) * durations_s / n
+        dram_j = np.asarray(rapl_dram_powers_w, dtype=float) * durations_s / n
+        nonzero = durations_s > 0
+        if not nonzero.all():
+            package_j = package_j[nonzero]
+            dram_j = dram_j[nonzero]
+        package_list = package_j.tolist()
+        dram_list = dram_j.tolist()
+        for acc in self._rapl_accumulators:
+            acc.deposit_many(RaplDomain.PACKAGE, package_list)
+            acc.deposit_many(RaplDomain.DRAM, dram_list)
 
     def advance_idle(self, duration_s: float) -> None:
         """Advance time with no workload running."""

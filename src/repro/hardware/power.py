@@ -116,6 +116,10 @@ class PowerModel:
         self.variability = variability or NodeVariability.nominal()
         self.num_sockets = num_sockets
         self.num_cores = num_cores
+        # Breakdown memo: the simulator evaluates the model at a handful
+        # of distinct operating/activity points but once per region
+        # *instance*; PowerBreakdown is frozen, so sharing is safe.
+        self._breakdown_cache: dict[tuple, PowerBreakdown] = {}
 
     def core_dynamic_power_w(
         self, core_freq_ghz: float, active_threads: int, core_activity: float
@@ -165,7 +169,18 @@ class PowerModel:
         membw_gbs: float,
     ) -> PowerBreakdown:
         """Full node power breakdown at the given operating point."""
-        return PowerBreakdown(
+        key = (
+            core_freq_ghz,
+            uncore_freq_ghz,
+            active_threads,
+            core_activity,
+            uncore_activity,
+            membw_gbs,
+        )
+        cached = self._breakdown_cache.get(key)
+        if cached is not None:
+            return cached
+        breakdown = PowerBreakdown(
             static_w=config.NODE_IDLE_POWER_W * self.variability.static_factor,
             core_dynamic_w=self.core_dynamic_power_w(
                 core_freq_ghz, active_threads, core_activity
@@ -174,6 +189,10 @@ class PowerModel:
             dram_w=self.dram_power_w(membw_gbs),
             blade_w=config.BLADE_POWER_W,
         )
+        if len(self._breakdown_cache) >= 8192:
+            self._breakdown_cache.clear()
+        self._breakdown_cache[key] = breakdown
+        return breakdown
 
     def idle_power(self, core_freq_ghz: float, uncore_freq_ghz: float) -> PowerBreakdown:
         """Node power with no workload running."""

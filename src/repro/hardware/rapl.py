@@ -51,6 +51,32 @@ class RaplAccumulator:
         old = self._regfile.hw_get(self._cpu, domain.value)
         self._regfile.hw_set(self._cpu, domain.value, (old + ticks) & _COUNTER_MASK)
 
+    def deposit_many(self, domain: RaplDomain, joules_seq) -> None:
+        """Deposit a sequence of energies with one register update.
+
+        The residual/tick arithmetic follows the exact float-operation
+        order of repeated :meth:`deposit` calls, so the counter and the
+        carried residual end up bit-identical; only the per-call MSR
+        write is coalesced (tick counts add modulo the 32-bit wrap, so
+        one wrapped update equals many).  Used by the replay fast path
+        of the execution simulator.
+        """
+        unit = RAPL_ENERGY_UNIT_J
+        residual = self._residual[domain]
+        ticks_total = 0
+        for joules in joules_seq:
+            if joules < 0:
+                raise HardwareError("cannot deposit negative energy")
+            total = residual + joules
+            ticks = int(total / unit)
+            residual = total - ticks * unit
+            ticks_total += ticks
+        self._residual[domain] = residual
+        old = self._regfile.hw_get(self._cpu, domain.value)
+        self._regfile.hw_set(
+            self._cpu, domain.value, (old + ticks_total) & _COUNTER_MASK
+        )
+
 
 @dataclass
 class _DomainSample:

@@ -12,12 +12,19 @@ from repro.errors import ModelError
 
 
 class Adam:
-    """Adaptive moment estimation over a flat list of parameter arrays."""
+    """Adaptive moment estimation over a flat list of parameter arrays.
+
+    ``gradients`` may be bound once at construction when the gradient
+    arrays have stable identity (layers write into preallocated
+    buffers); :meth:`step` then needs no arguments and the per-update
+    list rebuild disappears from the training loop.
+    """
 
     def __init__(
         self,
         parameters: list[np.ndarray],
         *,
+        gradients: list[np.ndarray] | None = None,
         learning_rate: float = 1e-3,
         beta1: float = 0.9,
         beta2: float = 0.999,
@@ -27,7 +34,12 @@ class Adam:
             raise ModelError("learning rate must be positive")
         if not (0 <= beta1 < 1 and 0 <= beta2 < 1):
             raise ModelError("betas must lie in [0, 1)")
+        if gradients is not None and len(gradients) != len(parameters):
+            raise ModelError(
+                f"expected {len(parameters)} gradients, got {len(gradients)}"
+            )
         self._params = parameters
+        self._gradients = gradients
         self.learning_rate = learning_rate
         self.beta1 = beta1
         self.beta2 = beta2
@@ -36,9 +48,13 @@ class Adam:
         self._v = [np.zeros_like(p) for p in parameters]
         self._t = 0
 
-    def step(self, gradients: list[np.ndarray]) -> None:
-        """Apply one update given gradients aligned with the parameters."""
-        if len(gradients) != len(self._params):
+    def step(self, gradients: list[np.ndarray] | None = None) -> None:
+        """Apply one update; gradients default to the bound buffers."""
+        if gradients is None:
+            gradients = self._gradients
+            if gradients is None:
+                raise ModelError("no gradients passed and none bound")
+        elif len(gradients) != len(self._params):
             raise ModelError(
                 f"expected {len(self._params)} gradients, got {len(gradients)}"
             )

@@ -49,8 +49,13 @@ class Dense:
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._x is None:
             raise ModelError("backward before forward")
-        self.grad_weights = self._x.T @ grad_out
-        self.grad_bias = grad_out.sum(axis=0)
+        # Write into the preallocated gradient buffers: training performs
+        # one backward per (stochastic) batch, so reallocating them every
+        # step dominated the allocator traffic of a training run.  The
+        # buffer identity is stable, which also lets the optimiser bind
+        # the gradient list once instead of rebuilding it per update.
+        np.matmul(self._x.T, grad_out, out=self.grad_weights)
+        np.sum(grad_out, axis=0, out=self.grad_bias)
         return grad_out @ self.weights.T
 
 

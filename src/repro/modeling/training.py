@@ -69,7 +69,13 @@ def train_network(
     x = scaler.fit_transform(features)
     y = targets[:, None]
     net = network or EnergyNetwork(n_inputs=x.shape[1], seed=config.seed)
-    optimizer = Adam(net.parameters, learning_rate=config.learning_rate)
+    # The gradient buffers have stable identity (layers write in place),
+    # so they bind to the optimiser once; step() rebuilds nothing.
+    optimizer = Adam(
+        net.parameters,
+        gradients=net.gradients,
+        learning_rate=config.learning_rate,
+    )
     rng = rng_for("training-shuffle", seed=config.seed)
     n = x.shape[0]
     losses: list[float] = []
@@ -84,6 +90,6 @@ def train_network(
             epoch_loss += mse(pred, yb)
             batches += 1
             net.backward(mse_gradient(pred, yb))
-            optimizer.step(net.gradients)
+            optimizer.step()
         losses.append(epoch_loss / batches)
     return TrainedModel(network=net, scaler=scaler, losses=losses)

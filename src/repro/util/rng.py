@@ -5,14 +5,32 @@ noise, measurement noise, weight init) draws from a ``numpy`` Generator
 keyed by a tuple of labels, so that results are reproducible regardless of
 call order: the stream for ``("node", 3)`` is identical whether or not any
 other stream was consumed first.
+
+Two access layers exist:
+
+* :func:`rng_for` — the scalar path: one fresh Generator per key.  Used
+  everywhere a single stream is consumed at a time.
+* :class:`StreamPrefix` + :func:`batched_lognormal` — the batched path
+  used by the execution simulator's replay engine.  A run draws one
+  noise value per (region, iteration); the key prefix (everything but
+  the iteration) is hashed once and the per-iteration BLAKE2b digests
+  are derived from the cached prefix state.  The PCG64 seeding pipeline
+  (``SeedSequence`` pool mixing + state initialisation) is replicated
+  with vectorized ``uint32`` arithmetic, so a batch of N draws costs one
+  Generator object instead of N — while remaining **bit-identical** to
+  ``rng_for(*key).lognormal(...)`` for every key.  The equivalence is
+  locked down by tests (``tests/util/test_util.py``).
 """
 
 from __future__ import annotations
 
 import hashlib
+import sys
 from typing import Any
 
 import numpy as np
+
+_LITTLE_ENDIAN = sys.byteorder == "little"
 
 
 def stable_hash(*parts: Any) -> int:
@@ -42,3 +60,247 @@ def rng_for(*key: Any, seed: int = 0) -> np.random.Generator:
         different experiment seed yields an independent stream.
     """
     return np.random.default_rng(stable_hash(seed, *key))
+
+
+class StreamPrefix:
+    """Cached BLAKE2b prefix for a family of stream keys.
+
+    ``StreamPrefix("time", node_id, run_key, name, seed=s)`` digests the
+    fixed key parts once; :meth:`seed_for` then derives the full
+    :func:`stable_hash` of ``(seed, *prefix, *suffix)`` by copying the
+    cached hash state and absorbing only the varying suffix.  For a
+    replay over hundreds of iterations this turns the per-key hashing
+    cost into a single digest-prefix computation per region.
+    """
+
+    __slots__ = ("_h",)
+
+    def __init__(self, *prefix: Any, seed: int = 0):
+        h = hashlib.blake2b(digest_size=8)
+        for part in (seed, *prefix):
+            h.update(repr(part).encode("utf-8"))
+            h.update(b"\x1f")
+        self._h = h
+
+    def seed_for(self, *suffix: Any) -> int:
+        """``stable_hash(seed, *prefix, *suffix)`` from the cached state."""
+        h = self._h.copy()
+        for part in suffix:
+            h.update(repr(part).encode("utf-8"))
+            h.update(b"\x1f")
+        return int.from_bytes(h.digest(), "little")
+
+    def seeds_for_iterations(self, iterations: int) -> np.ndarray:
+        """Seeds for integer suffixes ``0 .. iterations-1`` as ``uint64``."""
+        out = np.empty(iterations, dtype=np.uint64)
+        base = self._h
+        for i in range(iterations):
+            h = base.copy()
+            h.update(repr(i).encode("utf-8"))
+            h.update(b"\x1f")
+            out[i] = int.from_bytes(h.digest(), "little")
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Vectorized PCG64 seeding
+# ---------------------------------------------------------------------------
+#
+# ``np.random.default_rng(seed)`` builds ``PCG64(SeedSequence(seed))``.
+# Both algorithms are frozen by numpy's reproducibility policy (NEP 19):
+# SeedSequence mixes the entropy words through a fixed uint32 hash whose
+# round constants do not depend on the data, and PCG64 turns the four
+# output words into its 128-bit state/increment.  Because the hash-constant
+# schedule is data-independent, the whole pipeline vectorises across an
+# arbitrary batch of seeds with elementwise uint32 ops.  The tests assert
+# bit-identity against ``np.random.default_rng`` draw-for-draw.
+
+_XSHIFT = 16
+_INIT_A = 0x43B0D7E5
+_MULT_A = 0x931E8875
+_INIT_B = 0x8B51F9DD
+_MULT_B = 0x58F38DED
+_MIX_L = 0xCA01F9DD
+_MIX_R = 0x4973F715
+_MASK_32 = 0xFFFFFFFF
+
+#: PCG64's default LCG multiplier (pcg_setseq_128).
+_PCG_MULT = 0x2360ED051FC65DA44385DF649FCCF645
+_MASK_128 = (1 << 128) - 1
+
+
+def _constant_schedule(init: int, mult: int, steps: int) -> tuple[int, ...]:
+    """SeedSequence's hash-constant evolution — data-independent, so the
+    whole schedule folds to module-load-time constants."""
+    out = []
+    hc = init
+    for _ in range(steps):
+        hc = (hc * mult) & _MASK_32
+        out.append(hc)
+    return tuple(out)
+
+
+def _zero_hash(prev_const: int, this_const: int) -> int:
+    """hashed(0) under a known pair of schedule constants."""
+    v = 0 ^ prev_const
+    v = (v * this_const) & _MASK_32
+    v ^= v >> _XSHIFT
+    return v
+
+
+_A_SCHEDULE_INT = _constant_schedule(_INIT_A, _MULT_A, 16)
+_B_SCHEDULE_INT = _constant_schedule(_INIT_B, _MULT_B, 8)
+
+#: hashed(0) with the 3rd and 4th hash constants (pool entries 2 and 3).
+_ZERO_POOL_2 = _zero_hash(_A_SCHEDULE_INT[1], _A_SCHEDULE_INT[2])
+_ZERO_POOL_3 = _zero_hash(_A_SCHEDULE_INT[2], _A_SCHEDULE_INT[3])
+
+#: Hash constants of the 16 pool-fill/mixing steps and 8 output steps,
+#: pre-boxed as numpy scalars so the hot loop skips per-op coercion.
+_A_SCHEDULE = tuple(np.uint32(c) for c in _A_SCHEDULE_INT)
+_B_SCHEDULE = tuple(np.uint32(c) for c in _B_SCHEDULE_INT)
+_INIT_A_U32 = np.uint32(_INIT_A)
+_INIT_B_U32 = np.uint32(_INIT_B)
+_MIX_L_U32 = np.uint32(_MIX_L)
+_MIX_R_U32 = np.uint32(_MIX_R)
+
+# Constant columns for the fused mixing rounds.  Round ``s`` of the 4x4
+# mixing loop hashes pool[s] three times (for the three other pool lanes)
+# with consecutive schedule constants; stacking those three hashes as a
+# (3, n) matrix turns nine small array ops into three 2-D ones.  The
+# first column pair starts at schedule step 4 (after the four pool-fill
+# hashes).
+_ROUND_DST = tuple(
+    tuple(dst for dst in range(4) if dst != src) for src in range(4)
+)
+
+
+def _column(values) -> np.ndarray:
+    return np.array(values, dtype=np.uint32).reshape(-1, 1)
+
+
+_ROUND_PREV = tuple(
+    _column([_A_SCHEDULE_INT[4 + 3 * s + j - 1] for j in range(3)])
+    for s in range(4)
+)
+_ROUND_THIS = tuple(
+    _column([_A_SCHEDULE_INT[4 + 3 * s + j] for j in range(3)])
+    for s in range(4)
+)
+#: generate_state constants: words 0-3 and 4-7 as fused column pairs.
+_OUT_PREV = (
+    _column([_INIT_B] + list(_B_SCHEDULE_INT[0:3])),
+    _column(_B_SCHEDULE_INT[3:7]),
+)
+_OUT_THIS = (
+    _column(_B_SCHEDULE_INT[0:4]),
+    _column(_B_SCHEDULE_INT[4:8]),
+)
+
+
+def _seed_words(seeds: np.ndarray) -> np.ndarray:
+    """``SeedSequence(seed).generate_state(4, uint64)`` for a seed batch.
+
+    Returns an ``(n, 4)`` ``uint64`` array.  Mirrors numpy's pool mixing
+    for 64-bit entropy values; entropy values below 2**32 coerce to a
+    single word in numpy, but hashing the missing high word as 0 with
+    the same constant schedule produces the identical pool, so one code
+    path covers all magnitudes.  The hash-constant schedule is
+    data-independent and precomputed, and the three per-round hash/mix
+    lanes run as fused 2-D operations to keep the per-batch dispatch
+    overhead low.  Array integer overflow wraps silently in numpy, which
+    is exactly the uint32 arithmetic SeedSequence specifies.
+    """
+    seeds = np.ascontiguousarray(seeds, dtype=np.uint64)
+    n = len(seeds)
+    lo = (seeds & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+    hi = (seeds >> np.uint64(32)).astype(np.uint32)
+
+    def xorshift(value, scratch):
+        np.right_shift(value, _XSHIFT, out=scratch)
+        value ^= scratch
+        return value
+
+    scratch1 = np.empty_like(lo)
+    # Pool fill: entropy words 0/1, then hashed zeros (precomputed).
+    lo ^= _INIT_A_U32
+    lo *= _A_SCHEDULE[0]
+    xorshift(lo, scratch1)
+    hi ^= _A_SCHEDULE[0]
+    hi *= _A_SCHEDULE[1]
+    xorshift(hi, scratch1)
+    pool = np.empty((4, n), dtype=np.uint32)
+    pool[0] = lo
+    pool[1] = hi
+    pool[2] = _ZERO_POOL_2
+    pool[3] = _ZERO_POOL_3
+
+    # 4x4 mixing loop, one fused round per source lane.
+    hashed = np.empty((3, n), dtype=np.uint32)
+    scratch3 = np.empty_like(hashed)
+    for src in range(4):
+        hashed[:] = pool[src]
+        hashed ^= _ROUND_PREV[src]
+        hashed *= _ROUND_THIS[src]
+        xorshift(hashed, scratch3)
+        destinations = pool[_ROUND_DST[src],]
+        destinations *= _MIX_L_U32
+        hashed *= _MIX_R_U32
+        destinations -= hashed
+        xorshift(destinations, scratch3)
+        pool[_ROUND_DST[src],] = destinations
+
+    # generate_state(4): 8 uint32 words from cycling the pool, fused as
+    # two four-word passes.
+    out32 = np.empty((n, 8), dtype=np.uint32)
+    scratch4 = np.empty((4, n), dtype=np.uint32)
+    for half in range(2):
+        v = pool ^ _OUT_PREV[half]
+        v *= _OUT_THIS[half]
+        xorshift(v, scratch4)
+        out32[:, 4 * half : 4 * half + 4] = v.T
+    if _LITTLE_ENDIAN:
+        return out32.view(np.uint64)  # adjacent uint32 pairs, low word first
+    w = out32.astype(np.uint64)
+    return w[:, 0::2] | (w[:, 1::2] << np.uint64(32))
+
+
+def batched_lognormal(
+    seeds: np.ndarray, sigma: float, size: int | None = None
+) -> np.ndarray:
+    """Lognormal draws for a batch of stream seeds, bit-identical to
+    ``np.random.default_rng(seed).lognormal(0.0, sigma, size)`` per seed.
+
+    Returns shape ``(len(seeds),)`` for ``size=None`` and
+    ``(len(seeds), size)`` otherwise.  One reusable Generator is re-seeded
+    by direct state assignment, so the per-draw cost is a fraction of a
+    fresh ``default_rng`` construction.
+    """
+    seeds = np.asarray(seeds, dtype=np.uint64)
+    n = len(seeds)
+    if size is None:
+        out = np.empty(n)
+    else:
+        out = np.empty((n, size))
+    if n == 0:
+        return out
+    # Re-seed one Generator per draw by direct state assignment,
+    # replicating pcg64_srandom_r: the word pairs combine high-first
+    # (PCG_128BIT_CONSTANT), the increment is (initseq << 1) | 1 and the
+    # state advances two LCG steps.  tolist() yields Python ints in
+    # bulk, and the state-dict template is reused across draws.
+    word_blocks = _seed_words(seeds).tolist()
+    bitgen = np.random.PCG64(0)
+    gen = np.random.Generator(bitgen)
+    state_template = bitgen.state
+    inner_state = state_template["state"]
+    lognormal = gen.lognormal
+    mult, mask = _PCG_MULT, _MASK_128
+    for i in range(n):
+        w0, w1, w2, w3 = word_blocks[i]
+        inc = ((((w2 << 64) | w3) << 1) | 1) & mask
+        inner_state["inc"] = inc
+        inner_state["state"] = ((inc + ((w0 << 64) | w1)) * mult + inc) & mask
+        bitgen.state = state_template
+        out[i] = lognormal(0.0, sigma, size)
+    return out

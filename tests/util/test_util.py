@@ -2,9 +2,15 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, strategies as st
+from hypothesis import given, settings, strategies as st
 
-from repro.util.rng import rng_for, stable_hash
+from repro.util.rng import (
+    StreamPrefix,
+    _seed_words,
+    batched_lognormal,
+    rng_for,
+    stable_hash,
+)
 from repro.util.tables import render_table
 from repro.util.validation import check_fraction, check_in_range, check_positive
 
@@ -48,6 +54,80 @@ class TestRngFor:
         a = rng_for("target").random(3)
         b = rng_for("target").random(3)
         assert np.array_equal(a, b)
+
+
+class TestStreamPrefix:
+    def test_matches_stable_hash(self):
+        prefix = StreamPrefix("time", 3, ("run", 2.0), "region", seed=42)
+        assert prefix.seed_for(7) == stable_hash(
+            42, "time", 3, ("run", 2.0), "region", 7
+        )
+
+    def test_iteration_seeds_match_stable_hash(self):
+        prefix = StreamPrefix("papi", 0, (), "r", seed=1)
+        seeds = prefix.seeds_for_iterations(5)
+        for i in range(5):
+            assert seeds[i] == stable_hash(1, "papi", 0, (), "r", i)
+
+    def test_reusable_after_derivation(self):
+        prefix = StreamPrefix("a", seed=0)
+        first = prefix.seed_for(0)
+        prefix.seed_for(99)
+        assert prefix.seed_for(0) == first
+
+
+class TestBatchedDraws:
+    """The replay fast path's RNG layer must be bit-identical to the
+    scalar ``rng_for`` streams it replaces."""
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=2**64 - 1),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_seed_words_match_numpy_seedsequence(self, seeds):
+        words = _seed_words(np.array(seeds, dtype=np.uint64))
+        for i, seed in enumerate(seeds):
+            expected = np.random.SeedSequence(seed).generate_state(4, np.uint64)
+            assert np.array_equal(words[i], expected)
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=2**64 - 1),
+            min_size=1,
+            max_size=25,
+        ),
+        st.sampled_from([0.0025, 0.015, 0.3]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_scalar_draws_bit_identical(self, seeds, sigma):
+        batch = batched_lognormal(np.array(seeds, dtype=np.uint64), sigma)
+        for i, seed in enumerate(seeds):
+            assert batch[i] == np.random.default_rng(seed).lognormal(0.0, sigma)
+
+    def test_vector_draws_bit_identical(self):
+        seeds = np.array(
+            [stable_hash("papi", i) for i in range(20)], dtype=np.uint64
+        )
+        batch = batched_lognormal(seeds, 0.015, size=56)
+        for i, seed in enumerate(seeds):
+            expected = np.random.default_rng(int(seed)).lognormal(0.0, 0.015, 56)
+            assert np.array_equal(batch[i], expected)
+
+    def test_matches_rng_for_streams(self):
+        prefix = StreamPrefix("time", 1, ("k",), "region", seed=9)
+        batch = batched_lognormal(prefix.seeds_for_iterations(10), 0.0025)
+        for i in range(10):
+            scalar = rng_for("time", 1, ("k",), "region", i, seed=9).lognormal(
+                0.0, 0.0025
+            )
+            assert batch[i] == scalar
+
+    def test_empty_batch(self):
+        assert batched_lognormal(np.empty(0, dtype=np.uint64), 0.1).shape == (0,)
 
 
 class TestValidation:

@@ -14,7 +14,16 @@ The store lives under ``benchmarks/.cache/`` by default; set
 ``REPRO_CAMPAIGN_WORKERS`` to size the worker pool.  Cold-cache
 sessions additionally benefit from the simulator's vectorized replay
 fast path (see ``benchmarks/bench_sim_throughput.py`` for the measured
-per-run speedup).
+per-run speedup).  Trained models are cached in the same store
+(content-addressed by dataset digest + hyper-parameters), so warm
+sessions rebuild the deployed model without an ADAM step.  Bumping
+:data:`~repro.campaign.store.STORE_VERSION` re-keys the cache, so a
+store from an older release silently re-simulates (its dead records are
+counted by ``repro-campaign status``; delete the file to reclaim the
+space).  An entry that *is* recalled but does not match the current
+result schema surfaces as a clear
+:class:`~repro.errors.CampaignError` naming the store file to delete —
+never as a raw ``KeyError`` inside dataset assembly.
 
 Training configuration mirrors Section V-B: the deployed model trains on
 the 14 training benchmarks for ten epochs; the LOOCV study retrains with
@@ -32,7 +41,8 @@ from repro.campaign.engine import CampaignEngine
 from repro.campaign.store import ResultStore
 from repro.hardware.cluster import Cluster
 from repro.modeling.dataset import EnergyDataset, build_dataset
-from repro.modeling.training import TrainedModel, TrainingConfig, train_network
+from repro.modeling.model_cache import train_network_cached
+from repro.modeling.training import TrainedModel, TrainingConfig
 from repro.ptf.framework import PeriscopeTuningFramework, TuningOutcome
 from repro.ptf.static_tuning import StaticTuningResult, exhaustive_static_search
 from repro.workloads import registry
@@ -83,13 +93,15 @@ def deployed_model() -> TrainedModel:
     """The model shipped in the tuning plugin (Section V-B).
 
     The paper trains a single network for ten epochs; the seed is fixed
-    for reproducibility.
+    for reproducibility.  Weights are cached in the harness store, so a
+    warm session rebuilds the bit-identical model from disk.
     """
     ds = training_dataset()
-    return train_network(
+    return train_network_cached(
         ds.features,
         ds.targets,
         config=TrainingConfig(epochs=DEPLOYED_EPOCHS, seed=0),
+        store=campaign_engine().store,
     )
 
 

@@ -31,7 +31,7 @@ def test_fig6_lulesh_heatmap(benchmark):
     print()
     print(render_heatmap(heatmap))
     best_cf, best_ucf = heatmap.best
-    print(f"\npaper: best 2.4|1.7, plugin 2.5|2.1; "
+    print("\npaper: best 2.4|1.7, plugin 2.5|2.1; "
           f"ours: best {best_cf}|{best_ucf}, plugin {heatmap.selected}")
     # Compute-bound trend: high CF, low-to-mid UCF.
     assert best_cf >= 2.2

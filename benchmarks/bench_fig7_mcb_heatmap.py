@@ -30,7 +30,7 @@ def test_fig7_mcb_heatmap(benchmark):
     print()
     print(render_heatmap(heatmap))
     best_cf, best_ucf = heatmap.best
-    print(f"\npaper: best 1.6|2.5 (20 threads), plugin 1.6|2.3; "
+    print("\npaper: best 1.6|2.5 (20 threads), plugin 1.6|2.3; "
           f"ours: best {best_cf}|{best_ucf} ({heatmap.threads} threads), "
           f"plugin {heatmap.selected}")
     # Memory-bound trend: low CF, high UCF — the mirror image of Fig. 6.

@@ -49,7 +49,7 @@ def test_table1_counter_selection(benchmark):
     print()
     print(render_counter_selection(selection))
     overlap = set(selection.counters) & set(TABLE1_COUNTERS)
-    print(f"overlap with the paper's Table I: "
+    print("overlap with the paper's Table I: "
           f"{sorted(preset(c).short_name for c in overlap)}")
     assert 3 <= len(selection.counters) <= 7
     assert selection.mean_vif < 10.0

@@ -41,8 +41,8 @@ def test_table6_static_vs_dynamic(benchmark):
     static_cpu = float(np.mean([s.static_cpu_energy_saving for s in rows]))
     dyn_job = float(np.mean([s.dynamic_job_energy_saving for s in rows]))
     dyn_cpu = float(np.mean([s.dynamic_cpu_energy_saving for s in rows]))
-    print(f"\npaper averages: static 3.5%/7.8%, dynamic 7.53%/16.1% "
-          f"(job/CPU energy)")
+    print("\npaper averages: static 3.5%/7.8%, dynamic 7.53%/16.1% "
+          "(job/CPU energy)")
     print(f"our averages:   static {static_job:.1%}/{static_cpu:.1%}, "
           f"dynamic {dyn_job:.1%}/{dyn_cpu:.1%}")
     # Both strategies save energy on average.

@@ -44,7 +44,7 @@ def main() -> None:
         selected=result.global_frequencies,
     )
     print(render_heatmap(heatmap))
-    print(f"\ntrend: memory-bound -> optimum at low CF / high UCF "
+    print("\ntrend: memory-bound -> optimum at low CF / high UCF "
           f"(true best {heatmap.best[0]}|{heatmap.best[1]} GHz)")
 
     print("\n== Table IV analogue: per-region configurations ==")

@@ -39,7 +39,7 @@ def main() -> None:
     print("\n== READEX parameter control plugins ==")
     CpuFreqPlugin().apply(node, 2.0)
     UncoreFreqPlugin().apply(node, 1.5)
-    print(f"node pinned to calibration point: "
+    print("node pinned to calibration point: "
           f"{node.core_freq_ghz}|{node.uncore_freq_ghz} GHz (CF|UCF)")
 
     print("\n== energy metering around a workload ==")
@@ -54,7 +54,7 @@ def main() -> None:
           f"({hdeem.samples} samples at 1 kSa/s)")
     print(f"RAPL CPU energy:   {rapl.cpu_energy_j:8.0f} J "
           f"(package {pkg:.0f} J + DRAM {dram:.0f} J cumulative)")
-    print(f"blade overhead (node - CPU): "
+    print("blade overhead (node - CPU): "
           f"{hdeem.energy_j - rapl.cpu_energy_j:8.0f} J")
 
 

@@ -40,7 +40,7 @@ def main() -> None:
     result = outcome.plugin_result
     print(f"significant regions: {len(outcome.readex_config.significant_regions)}")
     print(f"optimal OpenMP threads (phase): {result.phase_threads}")
-    print(f"model-predicted global frequencies: "
+    print("model-predicted global frequencies: "
           f"{result.global_frequencies[0]:.1f}|{result.global_frequencies[1]:.1f} GHz")
     print(f"phase configuration after verification: {result.phase_configuration}")
     for region, cfg in result.region_configurations.items():

@@ -72,7 +72,9 @@ def variability_study(
     else:
         raise ValueError(f"axis must be 'core' or 'uncore', got {axis!r}")
     cluster = cluster or Cluster(max(nodes) + 1, seed=seed)
-    app_builder = lambda: registry.build(benchmark)
+    def app_builder():
+        return registry.build(benchmark)
+
     raw: dict[int, np.ndarray] = {}
     normalized: dict[int, np.ndarray] = {}
     cal_point = (

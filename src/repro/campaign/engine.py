@@ -28,9 +28,8 @@ import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Iterable
+from typing import Any, Callable, Iterable, Sequence
 
-from repro import config
 from repro.campaign.plan import CampaignJob, CampaignPlan
 from repro.campaign.store import ResultStore, job_key
 from repro.errors import CampaignError, WorkloadError
@@ -51,6 +50,34 @@ MAX_DEFAULT_WORKERS = 8
 #: worker before parallelising (a 3-job plan is cheaper run serially
 #: than forking a pool for it).
 MIN_JOBS_PER_WORKER = 8
+
+#: Payload keys every result of a mode must carry; a cached payload
+#: missing one was produced by an incompatible (older) result schema.
+REQUIRED_PAYLOAD_KEYS: dict[str, tuple[str, ...]] = {
+    "counters": ("totals", "phase_time_s"),
+    "sweep": ("node_energy_j", "cpu_energy_j", "time_s"),
+    "static": ("node_energy_j", "cpu_energy_j", "time_s"),
+}
+
+
+def validate_payload(
+    job: CampaignJob, payload: dict[str, Any], *, source: str = "store"
+) -> None:
+    """Reject payloads that do not match the current result schema.
+
+    Cached entries written before a payload-layout change used to
+    surface as raw ``KeyError`` deep inside dataset assembly; this
+    turns them into an actionable :class:`CampaignError` at the point
+    where the stale entry is recalled.
+    """
+    required = REQUIRED_PAYLOAD_KEYS.get(job.mode, ())
+    missing = [k for k in required if k not in payload]
+    if missing:
+        raise CampaignError(
+            f"cached result for {job.app}/{job.mode} from {source} is "
+            f"missing keys {missing}: the entry was produced by an older "
+            "result schema; delete the store file to re-simulate"
+        )
 
 
 def default_worker_count() -> int:
@@ -212,10 +239,16 @@ class CampaignEngine:
             plan = CampaignPlan(tuple(plan))
         payloads: dict[str, dict[str, Any]] = {}
         pending: list[tuple[str, CampaignJob]] = []
+        store_path = (
+            str(self.store.path)
+            if self.store is not None and self.store.path is not None
+            else "store"
+        )
         for job in plan:
             key = topology_job_key(job, self.topology)
             cached = self.store.get(key) if self.store is not None else None
             if cached is not None:
+                validate_payload(job, cached, source=store_path)
                 payloads[key] = cached
             else:
                 pending.append((key, job))
@@ -257,6 +290,15 @@ class CampaignEngine:
             return max(1, min(self.max_workers, pending))
         auto = min(default_worker_count(), pending // MIN_JOBS_PER_WORKER)
         return max(1, auto)
+    @staticmethod
+    def _pool(workers: int) -> ProcessPoolExecutor:
+        """The engine's process pool: prefer fork on Linux, so workers
+        inherit the imported registry and numpy and per-task startup
+        stays negligible."""
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
+        return ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
+
     def _run_pool(
         self,
         pending: list[tuple[str, CampaignJob]],
@@ -264,11 +306,7 @@ class CampaignEngine:
         payloads: dict[str, dict[str, Any]],
     ) -> None:
         """Fan the pending jobs out across a process pool."""
-        # Prefer fork on Linux: workers inherit the imported registry and
-        # numpy, so per-job startup stays negligible.
-        methods = multiprocessing.get_all_start_methods()
-        ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
-        with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
+        with self._pool(workers) as pool:
             futures = [
                 (key, job, pool.submit(execute_job, job, self.topology))
                 for key, job in pending
@@ -276,6 +314,28 @@ class CampaignEngine:
             for key, job, future in futures:
                 payloads[key] = future.result()
                 self._persist(key, job, payloads[key])
+
+    # ------------------------------------------------------------------
+    def map_tasks(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list:
+        """Order-preserving parallel map over arbitrary picklable tasks.
+
+        Shares the engine's pool construction, but not the
+        ``MIN_JOBS_PER_WORKER`` auto-sizing rule: tasks mapped here
+        (e.g. LOOCV fold training) cost seconds of CPU each, so even
+        two items amortise a fork.  An explicit ``max_workers`` is
+        honoured; results come back in item order, making the serial
+        fallback (``max_workers`` of 0/1, or a single item)
+        indistinguishable from the pool.
+        """
+        items = list(items)
+        if self.max_workers is not None:
+            workers = max(1, min(self.max_workers, len(items)))
+        else:
+            workers = min(default_worker_count(), len(items))
+        if workers <= 1 or len(items) < 2:
+            return [fn(item) for item in items]
+        with self._pool(workers) as pool:
+            return list(pool.map(fn, items))
 
 
 # ---------------------------------------------------------------------------

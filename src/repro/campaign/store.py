@@ -13,7 +13,12 @@ read back from a warm store compare equal to freshly simulated ones.
 
 :data:`STORE_VERSION` is mixed into every key; bump it whenever the
 simulator physics or the result payload layout changes, which atomically
-invalidates all previously persisted results.
+invalidates all previously persisted results.  Every record additionally
+carries the version it was written under, so a record that *does* match
+a requested key but was produced under a different schema (a payload
+layout change that forgot the bump, or a hand-migrated store) surfaces a
+clear :class:`~repro.errors.CampaignError` instead of a downstream
+``KeyError`` in whatever consumer first indexes the stale payload.
 """
 
 from __future__ import annotations
@@ -21,12 +26,14 @@ from __future__ import annotations
 import hashlib
 import json
 from pathlib import Path
-from typing import Any, IO
+from typing import IO, Any
 
 from repro.errors import CampaignError
 
 #: Bump on any change to simulator physics or payload layout.
-STORE_VERSION = 1
+#: v2: records carry ``store_version``; the store also holds trained-model
+#: parameter payloads (``mode: "train-model"``) next to simulation results.
+STORE_VERSION = 2
 
 
 def job_key(descriptor: dict[str, Any]) -> str:
@@ -50,6 +57,11 @@ class ResultStore:
         self.path = Path(path) if path is not None else None
         self._records: dict[str, dict[str, Any]] = {}
         self._handle: IO[str] | None = None
+        #: Records written under another schema version.  Their keys are
+        #: hashed with that version, so current lookups miss them and
+        #: everything re-simulates; they are dead weight until the file
+        #: is deleted (``repro-campaign status`` surfaces the count).
+        self.stale_records = 0
         if self.path is not None and self.path.exists():
             self._load()
 
@@ -70,6 +82,8 @@ class ResultStore:
                     and isinstance(record.get("key"), str)
                     and isinstance(record.get("result"), dict)
                 ):
+                    if record.get("store_version") != STORE_VERSION:
+                        self.stale_records += 1
                     self._records[record["key"]] = record
 
     def _append(self, record: dict[str, Any]) -> None:
@@ -83,9 +97,27 @@ class ResultStore:
 
     # ------------------------------------------------------------------
     def get(self, key: str) -> dict[str, Any] | None:
-        """The stored result payload for ``key``, or ``None`` on a miss."""
+        """The stored result payload for ``key``, or ``None`` on a miss.
+
+        Raises :class:`~repro.errors.CampaignError` when the record was
+        written under a different store schema version: returning it
+        would hand consumers a payload whose layout they no longer
+        understand (the historical failure mode was a raw ``KeyError``
+        deep inside dataset assembly).
+        """
         record = self._records.get(key)
-        return record["result"] if record is not None else None
+        if record is None:
+            return None
+        written = record.get("store_version")
+        if written != STORE_VERSION:
+            where = self.path if self.path is not None else "<in-memory store>"
+            raise CampaignError(
+                f"cached entry {key} in {where} was written by store schema "
+                f"version {written!r}, but this code expects version "
+                f"{STORE_VERSION}; delete the store file (or point "
+                "REPRO_BENCH_CACHE_DIR at a fresh directory) to re-simulate"
+            )
+        return record["result"]
 
     def put(
         self, key: str, descriptor: dict[str, Any], result: dict[str, Any]
@@ -95,7 +127,12 @@ class ResultStore:
             return
         if job_key(descriptor) != key:
             raise CampaignError("store key does not match the job descriptor")
-        record = {"key": key, "job": descriptor, "result": result}
+        record = {
+            "key": key,
+            "store_version": STORE_VERSION,
+            "job": descriptor,
+            "result": result,
+        }
         self._records[key] = record
         self._append(record)
 
@@ -124,6 +161,7 @@ class ResultStore:
         return {
             "path": str(self.path) if self.path is not None else None,
             "results": len(self._records),
+            "stale": self.stale_records,
             "apps": dict(sorted(by_app.items())),
             "modes": dict(sorted(by_mode.items())),
         }

@@ -39,7 +39,7 @@ class EventSet:
             raise EventSetError(f"event already in set: {canonical}")
         if len(self._events) >= self._max_events:
             raise EventSetError(
-                f"event set full: hardware supports only "
+                "event set full: hardware supports only "
                 f"{self._max_events} simultaneous events"
             )
         self._events.append(canonical)

@@ -11,7 +11,11 @@
   baseline of [24] (10-fold CV comparison in Section V-B);
 * :mod:`repro.modeling.dataset` — training-set assembly from traces;
 * :mod:`repro.modeling.crossval` / :mod:`.metrics` — LOOCV / k-fold and
-  MAPE.
+  MAPE;
+* :mod:`repro.modeling.batched` — the batched model-evaluation engine
+  (full-matrix forward/backward, grid-shaped prediction);
+* :mod:`repro.modeling.model_cache` — content-addressed caching of
+  trained model parameters in the campaign result store.
 """
 
 from repro.modeling.scaler import StandardScaler
@@ -24,10 +28,28 @@ from repro.modeling.dataset import EnergyDataset, FEATURE_COUNTERS, build_datase
 from repro.modeling.selection import CounterSelection, select_counters
 from repro.modeling.vif import mean_vif, variance_inflation_factors
 from repro.modeling.regression import RegressionEnergyModel
-from repro.modeling.crossval import kfold_indices, kfold_mape, leave_one_out_mape
+from repro.modeling.crossval import (
+    kfold_indices,
+    kfold_mape,
+    leave_one_out_mape,
+    network_loocv_mape,
+)
 from repro.modeling.metrics import mape, mean_absolute_error
+from repro.modeling.batched import (
+    ENGINES,
+    BatchedModelEvaluator,
+    GridPrediction,
+    predict_energy_grid,
+)
+from repro.modeling.model_cache import train_network_cached
 
 __all__ = [
+    "ENGINES",
+    "BatchedModelEvaluator",
+    "GridPrediction",
+    "predict_energy_grid",
+    "network_loocv_mape",
+    "train_network_cached",
     "StandardScaler",
     "Dense",
     "ReLU",

@@ -20,7 +20,7 @@ Four-step workflow (Figure 1):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -28,13 +28,13 @@ from repro import config
 from repro.counters.papi import preset
 from repro.errors import TuningError
 from repro.execution.simulator import OperatingPoint
+from repro.modeling.batched import predict_energy_grid, validate_engine
 from repro.modeling.dataset import FEATURE_COUNTERS, measure_counter_rates
 from repro.modeling.training import TrainedModel
 from repro.ptf.experiments import ExperimentsEngine, RegionMeasurement
 from repro.ptf.objectives import Objective, get_objective
 from repro.ptf.plugin import TuningContext, TuningPluginInterface
 from repro.ptf.search import neighborhood
-from repro.workloads import registry
 
 
 @dataclass
@@ -74,12 +74,22 @@ class EnergyTuningPlugin(TuningPluginInterface):
         re-centers and verifies again, recovering from model argmin
         errors larger than one frequency step at a cost of at most 9
         extra experiments per round.
+    engine:
+        Model-evaluation engine for the step-2 grid prediction
+        (``"batched"`` or ``"pointwise"``; bit-identical results).
     """
 
-    def __init__(self, model: TrainedModel, *, hill_climb_steps: int = 1):
+    def __init__(
+        self,
+        model: TrainedModel,
+        *,
+        hill_climb_steps: int = 1,
+        engine: str = "batched",
+    ):
         if hill_climb_steps < 1:
             raise TuningError("hill_climb_steps must be >= 1")
         self._hill_climb_steps = hill_climb_steps
+        self._engine_name = validate_engine(engine)
         self._model = model
         self._context: TuningContext | None = None
         self._engine: ExperimentsEngine | None = None
@@ -194,15 +204,11 @@ class EnergyTuningPlugin(TuningPluginInterface):
         )
         self._require_engine().application_runs += 1  # the analysis run
         rates = np.array([rates_map[preset(c).name] for c in FEATURE_COUNTERS])
-        grid: dict[tuple[float, float], float] = {}
-        rows, points = [], []
-        for cf in config.CORE_FREQUENCIES_GHZ:
-            for ucf in config.UNCORE_FREQUENCIES_GHZ:
-                rows.append(np.concatenate([rates, [cf, ucf]]))
-                points.append((cf, ucf))
-        predictions = self._model.predict(np.asarray(rows))
-        for point, pred in zip(points, predictions):
-            grid[point] = float(pred)
+        # All CF x UCF combinations in one grid-shaped prediction.
+        prediction = predict_energy_grid(
+            self._model, rates, labels=("phase",), engine=self._engine_name
+        )
+        grid = prediction.as_dict("phase")
         best = min(grid, key=grid.get)
         return rates, grid, best
 

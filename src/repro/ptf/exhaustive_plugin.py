@@ -16,10 +16,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro import config
 from repro.errors import TuningError
 from repro.execution.simulator import OperatingPoint
 from repro.hardware.cluster import Cluster
+from repro.modeling.batched import predict_energy_grid
+from repro.modeling.training import TrainedModel
 from repro.ptf.experiments import ExperimentsEngine
 from repro.ptf.objectives import ENERGY, Objective
 from repro.workloads.application import Application
@@ -100,6 +104,55 @@ class ExhaustiveRegionTuner:
         self.node_id = node_id
         self.objective = objective
 
+    def screen_frequency_pairs(
+        self,
+        app: Application,
+        model: TrainedModel,
+        regions: tuple[str, ...],
+        *,
+        stride: int = 1,
+        keep: int = 9,
+        engine: str = "batched",
+    ) -> list[tuple[float, float]]:
+        """Model-screened frequency pairs worth measuring exhaustively.
+
+        One grid-shaped prediction per region (a single stacked forward
+        pass under the batched engine) ranks every (CF, UCF) pair; the
+        union of each region's ``keep`` best predicted pairs — in grid
+        order, restricted to the strided grid — becomes the measured
+        search space.  This trades the model's accuracy for a search
+        that no longer scales with ``l * m``.
+        """
+        from repro.ptf.region_model import RegionModelTuner
+
+        if keep < 1:
+            raise TuningError("keep must be >= 1")
+        tuner = RegionModelTuner(
+            model, self.cluster, node_id=self.node_id, engine=engine
+        )
+        rates = tuner.measure_region_rates(app, regions)
+        grid = predict_energy_grid(
+            model,
+            np.asarray([rates[r] for r in regions]),
+            labels=regions,
+            engine=engine,
+        )
+        strided = {
+            (cf, ucf)
+            for cf in config.CORE_FREQUENCIES_GHZ[::stride]
+            for ucf in config.UNCORE_FREQUENCIES_GHZ[::stride]
+        }
+        wanted: set[tuple[float, float]] = set()
+        for region in regions:
+            energies = grid.row(region)
+            ranked = [
+                grid.points[i]
+                for i in np.argsort(energies, kind="stable")
+                if grid.points[i] in strided
+            ]
+            wanted.update(ranked[:keep])
+        return [p for p in grid.points if p in wanted]
+
     def tune(
         self,
         app: Application,
@@ -107,8 +160,16 @@ class ExhaustiveRegionTuner:
         stride: int = 1,
         thread_counts: tuple[int, ...] | None = None,
         regions: tuple[str, ...] | None = None,
+        model: TrainedModel | None = None,
+        screen_keep: int = 9,
+        engine: str = "batched",
     ) -> tuple[dict[str, OperatingPoint], ExperimentsEngine]:
-        """Best configuration per region via exhaustive evaluation."""
+        """Best configuration per region via exhaustive evaluation.
+
+        With ``model`` given, the (CF, UCF) plane is first screened by a
+        grid-shaped model prediction and only the union of each region's
+        ``screen_keep`` most promising pairs is measured.
+        """
         if thread_counts is None:
             thread_counts = (
                 config.OPENMP_THREAD_CANDIDATES
@@ -117,27 +178,36 @@ class ExhaustiveRegionTuner:
             )
         if regions is None:
             regions = tuple(c.name for c in app.phase.children if c.has_work)
-        engine = ExperimentsEngine(self.cluster, node_id=self.node_id)
+        if model is not None:
+            pairs = self.screen_frequency_pairs(
+                app, model, regions, stride=stride, keep=screen_keep,
+                engine=engine,
+            )
+        else:
+            pairs = [
+                (cf, ucf)
+                for cf in config.CORE_FREQUENCIES_GHZ[::stride]
+                for ucf in config.UNCORE_FREQUENCIES_GHZ[::stride]
+            ]
+        experiments = ExperimentsEngine(self.cluster, node_id=self.node_id)
         points = [
             OperatingPoint(cf, ucf, t)
             for t in thread_counts
-            for cf in config.CORE_FREQUENCIES_GHZ[::stride]
-            for ucf in config.UNCORE_FREQUENCIES_GHZ[::stride]
+            for cf, ucf in pairs
         ]
-        measured = engine.evaluate_configurations(
+        measured = experiments.evaluate_configurations(
             app, points, regions=regions, run_key=("exhaustive",)
         )
+        # Vectorised per-region selection (first minimum, matching the
+        # historical point-at-a-time loop bit for bit).
         best: dict[str, OperatingPoint] = {}
         for region in regions:
-            best_point, best_value = None, float("inf")
-            for point, ms in measured.items():
-                m = ms.get(region)
-                if m is None:
-                    continue
-                value = self.objective(m.node_energy_j, m.time_s)
-                if value < best_value:
-                    best_point, best_value = point, value
-            if best_point is None:
+            candidates = [p for p in measured if region in measured[p]]
+            if not candidates:
                 raise TuningError(f"region {region!r} never measured")
-            best[region] = best_point
-        return best, engine
+            values = self.objective.batch(
+                np.array([measured[p][region].node_energy_j for p in candidates]),
+                np.array([measured[p][region].time_s for p in candidates]),
+            )
+            best[region] = candidates[int(np.argmin(values))]
+        return best, experiments

@@ -10,6 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+import numpy as np
+
 from repro.errors import TuningError
 
 
@@ -24,6 +26,19 @@ class Objective:
         if energy_j < 0 or time_s < 0:
             raise TuningError("objective inputs must be non-negative")
         return self.evaluate(energy_j, time_s)
+
+    def batch(self, energies_j, times_s) -> np.ndarray:
+        """Vectorised evaluation over aligned arrays (lower is better).
+
+        Elementwise float64 arithmetic, so each entry is bit-identical
+        to the scalar :meth:`__call__` on the same pair — argmins over
+        a batch equal the historical one-point-at-a-time loops.
+        """
+        energies_j = np.asarray(energies_j, dtype=float)
+        times_s = np.asarray(times_s, dtype=float)
+        if np.any(energies_j < 0) or np.any(times_s < 0):
+            raise TuningError("objective inputs must be non-negative")
+        return np.asarray(self.evaluate(energies_j, times_s), dtype=float)
 
 
 #: Plain node energy (the paper's objective).

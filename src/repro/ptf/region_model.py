@@ -26,6 +26,7 @@ from repro.counters.papi import preset
 from repro.errors import TuningError
 from repro.execution.simulator import ExecutionSimulator
 from repro.hardware.cluster import Cluster
+from repro.modeling.batched import predict_energy_grid, validate_engine
 from repro.modeling.dataset import FEATURE_COUNTERS
 from repro.modeling.training import TrainedModel
 from repro.workloads.application import Application
@@ -81,11 +82,13 @@ class RegionModelTuner:
         *,
         node_id: int = 0,
         seed: int = config.DEFAULT_SEED,
+        engine: str = "batched",
     ):
         self._model = model
         self._cluster = cluster
         self._node_id = node_id
         self._seed = seed
+        self._engine = validate_engine(engine)
 
     # ------------------------------------------------------------------
     def measure_region_rates(
@@ -131,21 +134,39 @@ class RegionModelTuner:
             raise TuningError(f"regions never measured: {missing}")
         return {r: totals[r] / times[r] for r in regions}
 
+    def predict_regions(
+        self, rates: dict[str, np.ndarray]
+    ) -> dict[str, RegionPrediction]:
+        """Full-grid predictions for many regions in one engine call.
+
+        Under the batched engine every (region, grid point) pair goes
+        through the network in a single stacked forward pass — the
+        pointwise engine evaluates one region's grid at a time, with
+        bit-identical results.
+        """
+        if not rates:
+            return {}
+        names = tuple(rates)
+        grid = predict_energy_grid(
+            self._model,
+            np.asarray([rates[name] for name in names]),
+            labels=names,
+            engine=self._engine,
+        )
+        best = grid.best()
+        return {
+            name: RegionPrediction(
+                region=name,
+                rates=rates[name],
+                best_frequencies=best[name][0],
+                predicted_energy=best[name][1],
+            )
+            for name in names
+        }
+
     def predict_region(self, region: str, rates: np.ndarray) -> RegionPrediction:
         """Full-grid prediction for one region's rates."""
-        rows, points = [], []
-        for cf in config.CORE_FREQUENCIES_GHZ:
-            for ucf in config.UNCORE_FREQUENCIES_GHZ:
-                rows.append(np.concatenate([rates, [cf, ucf]]))
-                points.append((cf, ucf))
-        predictions = self._model.predict(np.asarray(rows))
-        i = int(np.argmin(predictions))
-        return RegionPrediction(
-            region=region,
-            rates=rates,
-            best_frequencies=points[i],
-            predicted_energy=float(predictions[i]),
-        )
+        return self.predict_regions({region: rates})[region]
 
     def tune(
         self,
@@ -158,9 +179,8 @@ class RegionModelTuner:
         if not regions:
             raise TuningError("no regions to tune")
         rates = self.measure_region_rates(app, regions, threads=threads)
-        region_predictions = {
-            name: self.predict_region(name, vec) for name, vec in rates.items()
-        }
+        # One grid-shaped prediction covers every significant region.
+        region_predictions = self.predict_regions(rates)
         # Phase rates = time-weighted view of the whole iteration; measure
         # through the phase record the plugin already uses.
         phase_rates = self.measure_region_rates(

@@ -9,7 +9,11 @@ answer is enough (tests); the benchmarks run the full grid.
 The sweep executes through the :mod:`repro.campaign` engine: the full
 grid is submitted as one plan, fans out across the worker pool, and —
 when the engine carries a result store — warm re-runs select the best
-point without a single new simulation.  Uncontrolled grid points are
+point without a single new simulation.  The winning point is selected
+with one vectorised objective evaluation over the whole grid, and
+:func:`select_static_configurations` offers the model-predicted
+counterpart: static configurations for a whole workload suite from one
+batched grid prediction, with zero sweep simulations.  Uncontrolled grid points are
 exactly what the simulator's vectorized replay fast path
 (:mod:`repro.execution.replay`) accelerates, so cold exhaustive sweeps
 run an order of magnitude faster with bit-identical results.
@@ -19,14 +23,66 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro import config
 from repro.campaign.engine import CampaignEngine, run_app_jobs
 from repro.campaign.plan import static_jobs, static_operating_points
 from repro.errors import TuningError
 from repro.execution.simulator import OperatingPoint
 from repro.hardware.cluster import Cluster
-from repro.ptf.objectives import Objective, ENERGY
+from repro.modeling.batched import predict_energy_grid
+from repro.modeling.training import TrainedModel
+from repro.ptf.objectives import ENERGY, Objective
 from repro.workloads.application import Application
+
+
+@dataclass(frozen=True)
+class ModelStaticSelection:
+    """Model-predicted static configuration for one benchmark series."""
+
+    app_name: str
+    threads: int
+    best: OperatingPoint
+    predicted_energy: float
+
+
+def select_static_configurations(
+    model: TrainedModel,
+    series_rates: dict[tuple[str, int], np.ndarray],
+    *,
+    engine: str = "batched",
+) -> dict[tuple[str, int], ModelStaticSelection]:
+    """Predict the energy-optimal static (CF, UCF) for many series at once.
+
+    ``series_rates`` maps ``(benchmark, threads)`` to the calibration
+    counter-rate vector of that series (the layout of
+    :attr:`~repro.modeling.dataset.EnergyDataset.counter_rates`).  The
+    model predicts normalized energy over the full core x uncore grid
+    for every series — under the batched engine that is one stacked
+    forward pass for the whole workload suite — and the argmin becomes
+    the predicted static configuration.  Both engines return
+    bit-identical selections; no simulation runs are involved.
+    """
+    if not series_rates:
+        return {}
+    labels = tuple(series_rates)
+    grid = predict_energy_grid(
+        model,
+        np.asarray([series_rates[label] for label in labels]),
+        labels=labels,
+        engine=engine,
+    )
+    best = grid.best()
+    return {
+        (name, threads): ModelStaticSelection(
+            app_name=name,
+            threads=threads,
+            best=OperatingPoint(point[0], point[1], threads),
+            predicted_energy=energy,
+        )
+        for (name, threads), (point, energy) in best.items()
+    }
 
 
 @dataclass(frozen=True)
@@ -74,25 +130,19 @@ def exhaustive_static_search(
     )
     results = run_app_jobs(jobs, app, cluster=cluster, engine=engine)
 
-    best_point, best_value = None, float("inf")
-    best_energy = best_time = 0.0
-    default_energy = default_time = None
-    for point, job in zip(points, jobs):
-        payload = results[job]
-        energy, time_s = payload["node_energy_j"], payload["time_s"]
-        value = objective(energy, time_s)
-        if value < best_value:
-            best_point, best_value = point, value
-            best_energy, best_time = energy, time_s
-        if point == default_point:
-            default_energy, default_time = energy, time_s
-    assert best_point is not None and default_energy is not None
+    # Vectorised selection: one objective evaluation + argmin over the
+    # whole grid (first minimum, like the historical point loop).
+    energies = np.array([results[job]["node_energy_j"] for job in jobs])
+    times = np.array([results[job]["time_s"] for job in jobs])
+    values = objective.batch(energies, times)
+    best = int(np.argmin(values))
+    default = points.index(default_point)
     return StaticTuningResult(
         app_name=app.name,
-        best=best_point,
-        best_energy_j=best_energy,
-        best_time_s=best_time,
-        default_energy_j=default_energy,
-        default_time_s=default_time,
+        best=points[best],
+        best_energy_j=float(energies[best]),
+        best_time_s=float(times[best]),
+        default_energy_j=float(energies[default]),
+        default_time_s=float(times[default]),
         configurations_tried=len(jobs),
     )

@@ -18,7 +18,6 @@ from repro.errors import WorkloadError
 from repro.readex.config_file import ReadexConfig
 from repro.scorep.profile import CallTreeProfile
 from repro.workloads.application import Application
-from repro.workloads.region import RegionKind
 
 
 @dataclass(frozen=True)

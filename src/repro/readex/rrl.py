@@ -13,7 +13,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import RRLError
 from repro.execution.simulator import OperatingPoint
 from repro.hardware.node import ComputeNode
 from repro.readex.pcp import CpuFreqPlugin, OpenMPTPlugin, UncoreFreqPlugin

@@ -9,7 +9,7 @@ instrumentation at compile time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import InstrumentationError
 from repro.scorep.instrumentation import UNFILTERABLE_KINDS, Instrumentation

@@ -283,6 +283,11 @@ def _campaign_dispatch(args) -> int:
         summary = store.summary()
         print(f"store:   {summary['path']}")
         print(f"results: {summary['results']}")
+        if summary["stale"]:
+            print(
+                f"stale:   {summary['stale']} record(s) from another store "
+                "schema version (dead weight; delete the file to reclaim)"
+            )
         if summary["results"]:
             _print_breakdown("by mode", summary["modes"])
             _print_breakdown("by app", summary["apps"])

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.errors import WorkloadError
-from repro.workloads.application import Application, BenchmarkInfo, ProgrammingModel
+from repro.workloads.application import Application, BenchmarkInfo
 from repro.workloads.suites import bem4i, coral, llcbench, mantevo, npb
 
 _BUILDERS: dict[str, Callable[[], Application]] = {}

@@ -12,7 +12,6 @@ from repro.workloads.region import Region, RegionKind
 from repro.workloads.suites.common import (
     balanced_profile,
     build_phase,
-    compute_profile,
     memory_profile,
     moderate_profile,
     significant,

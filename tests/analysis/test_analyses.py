@@ -1,6 +1,5 @@
 """Tests for the per-figure/table analysis producers."""
 
-import numpy as np
 import pytest
 
 from repro import config

@@ -61,3 +61,42 @@ def test_static_result_artefact_uses_harness_engine(harness_cache):
     engine = common.campaign_engine()
     assert engine.store is not None
     assert common.static_result.__wrapped__.__module__ == "benchmarks._common"
+
+
+def test_old_schema_cache_entry_surfaces_clear_error(harness_cache):
+    """A harness store entry written under an older schema must fail
+    with an actionable CampaignError when an artefact build recalls it,
+    never a raw KeyError inside dataset assembly."""
+    import json
+
+    from repro.campaign.engine import topology_job_key
+    from repro.campaign.plan import counter_jobs
+    from repro.campaign.store import STORE_VERSION
+    from repro.errors import CampaignError
+
+    job = counter_jobs(
+        "EP",
+        threads=24,
+        counters=("PAPI_TOT_INS",),
+        runs=1,
+        node_seed=common.cluster().seed,
+    )[0]
+    record = {
+        "key": topology_job_key(job, None),
+        "store_version": STORE_VERSION - 1,
+        "job": job.descriptor(),
+        "result": {"totals": {"PAPI_TOT_INS": 1.0}, "phase_time_s": 1.0},
+    }
+    (harness_cache / "campaign-store.jsonl").write_text(json.dumps(record) + "\n")
+    common.campaign_engine.cache_clear()
+    from repro.modeling.dataset import measure_counter_rates
+
+    with pytest.raises(CampaignError, match="schema version"):
+        measure_counter_rates(
+            common.registry.build("EP"),
+            common.cluster(),
+            threads=24,
+            counters=("PAPI_TOT_INS",),
+            runs=1,
+            engine=common.campaign_engine(),
+        )

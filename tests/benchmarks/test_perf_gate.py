@@ -1,0 +1,102 @@
+"""Tests for the CI perf-regression gate (scripts/check_perf_regression.py)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+SCRIPT = Path(__file__).resolve().parents[2] / "scripts" / "check_perf_regression.py"
+spec = importlib.util.spec_from_file_location("check_perf_regression", SCRIPT)
+gate = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(gate)
+
+
+def write(path: Path, report: dict) -> Path:
+    path.write_text(json.dumps(report))
+    return path
+
+
+def sim_report(speedup: float) -> dict:
+    return {"benchmark": "sim_throughput", "aggregate": {"speedup": speedup}}
+
+
+def tuning_report(speedup: float, identical: bool = True) -> dict:
+    return {
+        "benchmark": "tuning_time",
+        "model_evaluation": {
+            "speedup": speedup,
+            "selections_identical": identical,
+        },
+    }
+
+
+class TestGate:
+    def test_passes_when_equal(self, tmp_path):
+        current = write(tmp_path / "a.json", sim_report(12.0))
+        baseline = write(tmp_path / "b.json", sim_report(12.0))
+        assert gate.main([str(current), str(baseline)]) == 0
+
+    def test_tolerates_small_drop(self, tmp_path):
+        current = write(tmp_path / "a.json", sim_report(9.0))
+        baseline = write(tmp_path / "b.json", sim_report(12.0))
+        assert gate.main([str(current), str(baseline)]) == 0  # -25% < 30%
+
+    def test_fails_on_injected_2x_slowdown(self, tmp_path):
+        """The acceptance scenario: halving the fast path halves the
+        speedup ratio, which must trip the 30% gate."""
+        current = write(tmp_path / "a.json", sim_report(6.0))
+        baseline = write(tmp_path / "b.json", sim_report(12.0))
+        assert gate.main([str(current), str(baseline)]) == 1
+
+    def test_fails_on_tuning_time_slowdown(self, tmp_path):
+        current = write(tmp_path / "a.json", tuning_report(4.0))
+        baseline = write(tmp_path / "b.json", tuning_report(8.7))
+        assert gate.main([str(current), str(baseline)]) == 1
+
+    def test_fails_when_selections_diverge(self, tmp_path):
+        current = write(tmp_path / "a.json", tuning_report(9.0, identical=False))
+        baseline = write(tmp_path / "b.json", tuning_report(8.7))
+        assert gate.main([str(current), str(baseline)]) == 1
+
+    def test_max_drop_flag(self, tmp_path):
+        current = write(tmp_path / "a.json", sim_report(9.0))
+        baseline = write(tmp_path / "b.json", sim_report(12.0))
+        assert gate.main([str(current), str(baseline), "--max-drop", "0.2"]) == 1
+
+    def test_kind_mismatch_rejected(self, tmp_path):
+        current = write(tmp_path / "a.json", sim_report(9.0))
+        baseline = write(tmp_path / "b.json", tuning_report(8.7))
+        with pytest.raises(SystemExit):
+            gate.main([str(current), str(baseline)])
+
+    def test_missing_metric_explains_schema(self, tmp_path):
+        current = write(
+            tmp_path / "a.json", {"benchmark": "sim_throughput", "aggregate": {}}
+        )
+        baseline = write(tmp_path / "b.json", sim_report(12.0))
+        with pytest.raises(SystemExit, match="older benchmark schema"):
+            gate.main([str(current), str(baseline)])
+
+
+class TestCommittedBaselines:
+    """The baselines the CI gate compares against must stay well-formed."""
+
+    BASELINES = Path(__file__).resolve().parents[2] / "benchmarks" / "baselines"
+
+    def test_sim_throughput_baseline(self):
+        report = json.loads((self.BASELINES / "sim-throughput.json").read_text())
+        assert report["benchmark"] == "sim_throughput"
+        assert report["aggregate"]["speedup"] > 1
+
+    def test_tuning_time_baseline(self):
+        report = json.loads((self.BASELINES / "tuning-time.json").read_text())
+        assert report["benchmark"] == "tuning_time"
+        # The batched engine's headline claim, pinned at baseline time.
+        assert report["model_evaluation"]["speedup"] >= 5
+        assert report["model_evaluation"]["selections_identical"] is True
+
+    def test_gate_passes_against_itself(self, capsys):
+        for name in ("sim-throughput.json", "tuning-time.json"):
+            path = self.BASELINES / name
+            assert gate.main([str(path), str(path)]) == 0

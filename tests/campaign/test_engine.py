@@ -18,7 +18,6 @@ from repro.campaign.plan import (
     plan_static_campaign,
     static_operating_points,
     sweep_jobs,
-    sweep_operating_points,
     thread_series,
 )
 from repro.campaign.store import ResultStore
@@ -190,6 +189,38 @@ class TestEngine:
         plan = CampaignPlan(sweep_jobs("EP", threads=24)[:3])
         report = CampaignEngine(max_workers=2).run(plan).report
         assert report.workers == 2
+
+    def test_stale_cached_payload_surfaces_clear_error(self, tmp_path):
+        """A cached entry whose payload predates the current result
+        schema must fail with an actionable CampaignError when recalled,
+        not a raw KeyError in whatever consumer indexes it first."""
+        import json
+
+        from repro.campaign.engine import topology_job_key
+        from repro.campaign.store import STORE_VERSION
+
+        job = sweep_jobs("EP", threads=24)[0]
+        key = topology_job_key(job, None)
+        path = tmp_path / "store.jsonl"
+        record = {
+            "key": key,
+            "store_version": STORE_VERSION,
+            "job": job.descriptor(),
+            "result": {"energy": 1.0},  # pre-campaign payload layout
+        }
+        path.write_text(json.dumps(record) + "\n")
+        engine = CampaignEngine(store=ResultStore(path), max_workers=1)
+        with pytest.raises(CampaignError, match="older result schema"):
+            engine.run(CampaignPlan((job,)))
+
+    def test_map_tasks_preserves_order_and_results(self):
+        import math
+
+        engine = CampaignEngine(max_workers=2)
+        items = list(range(20))
+        assert engine.map_tasks(math.sqrt, items) == [math.sqrt(i) for i in items]
+        serial = CampaignEngine(max_workers=1)
+        assert serial.map_tasks(math.sqrt, items) == [math.sqrt(i) for i in items]
 
     def test_custom_topology_does_not_collide_in_store(self, tmp_path):
         from repro.hardware.topology import NodeTopology

@@ -65,13 +65,63 @@ class TestResultStore:
     def test_corrupt_lines_skipped(self, tmp_path, job):
         path = tmp_path / "store.jsonl"
         key = job_key(job.descriptor())
-        record = {"key": key, "job": job.descriptor(), "result": {"time_s": 1.0}}
+        record = {
+            "key": key,
+            "store_version": STORE_VERSION,
+            "job": job.descriptor(),
+            "result": {"time_s": 1.0},
+        }
         path.write_text(
             json.dumps(record) + "\n" + '{"truncated": '  # crashed mid-write
         )
         store = ResultStore(path)
         assert store.get(key) == {"time_s": 1.0}
         assert len(store) == 1
+
+    def test_older_schema_entry_surfaces_clear_error(self, tmp_path, job):
+        """A record matching a requested key but written under another
+        schema version must raise an actionable CampaignError, never a
+        downstream KeyError."""
+        path = tmp_path / "store.jsonl"
+        key = job_key(job.descriptor())
+        record = {
+            "key": key,
+            "store_version": STORE_VERSION - 1,
+            "job": job.descriptor(),
+            "result": {"legacy_layout": 1.0},
+        }
+        path.write_text(json.dumps(record) + "\n")
+        store = ResultStore(path)
+        with pytest.raises(CampaignError, match="older|schema version"):
+            store.get(key)
+
+    def test_unversioned_legacy_entry_surfaces_clear_error(self, tmp_path, job):
+        path = tmp_path / "store.jsonl"
+        key = job_key(job.descriptor())
+        record = {"key": key, "job": job.descriptor(), "result": {"time_s": 1.0}}
+        path.write_text(json.dumps(record) + "\n")
+        with pytest.raises(CampaignError, match="schema version"):
+            ResultStore(path).get(key)
+
+    def test_stale_records_counted_not_served(self, tmp_path, job):
+        """Records from another schema version (whose keys current code
+        can never derive) are counted as dead weight in the summary."""
+        path = tmp_path / "store.jsonl"
+        legacy = {"key": "a" * 32, "job": job.descriptor(), "result": {"x": 1.0}}
+        path.write_text(json.dumps(legacy) + "\n")
+        store = ResultStore(path)
+        assert store.stale_records == 1
+        assert store.summary()["stale"] == 1
+        assert store.get(job_key(job.descriptor())) is None  # silent miss
+
+    def test_records_written_with_current_version(self, tmp_path, job):
+        path = tmp_path / "store.jsonl"
+        key = job_key(job.descriptor())
+        store = ResultStore(path)
+        store.put(key, job.descriptor(), {"time_s": 1.0})
+        store.close()
+        record = json.loads(path.read_text().splitlines()[0])
+        assert record["store_version"] == STORE_VERSION
 
     def test_put_rejects_mismatched_key(self, tmp_path, job):
         store = ResultStore(tmp_path / "store.jsonl")

@@ -4,7 +4,7 @@ import pytest
 
 from repro import config
 from repro.errors import JobError, WorkloadError
-from repro.execution.simulator import ExecutionSimulator, OperatingPoint
+from repro.execution.simulator import ExecutionSimulator
 from repro.execution.slurm import SlurmAccounting
 from repro.hardware.node import ComputeNode
 from repro.workloads import registry

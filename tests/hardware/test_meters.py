@@ -6,7 +6,7 @@ from repro import config
 from repro.errors import HardwareError, JobError
 from repro.hardware.cluster import Cluster
 from repro.hardware.hdeem import HdeemMonitor
-from repro.hardware.msr import MSR, MSRRegisterFile
+from repro.hardware.msr import MSRRegisterFile
 from repro.hardware.node import ComputeNode
 from repro.hardware.rapl import (
     RAPL_ENERGY_UNIT_J,

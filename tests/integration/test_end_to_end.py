@@ -5,7 +5,6 @@ pre-processing → plugin tuning → TMM → RRL production run → accounting,
 checking cross-layer invariants rather than per-module behaviour.
 """
 
-import numpy as np
 import pytest
 
 from repro import config

@@ -61,8 +61,8 @@ class TestNetworkArchitecture:
     def test_paper_architecture(self):
         """Fig. 4: 9 inputs, two hidden layers of 5 neurons, 1 output."""
         net = EnergyNetwork()
-        dense = [l for l in net.layers if isinstance(l, Dense)]
-        relu = [l for l in net.layers if isinstance(l, ReLU)]
+        dense = [layer for layer in net.layers if isinstance(layer, Dense)]
+        relu = [layer for layer in net.layers if isinstance(layer, ReLU)]
         assert [(d.weights.shape) for d in dense] == [(9, 5), (5, 5), (5, 1)]
         assert len(relu) == 2
 

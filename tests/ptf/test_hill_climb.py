@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import TuningError
-from repro.ptf.search import hill_climb, neighborhood
+from repro.ptf.search import hill_climb
 
 
 def quadratic_surface(optimum):

@@ -5,7 +5,6 @@ assertions check workflow structure and qualitative optima, not exact
 frequencies (those are benchmark territory).
 """
 
-import numpy as np
 import pytest
 
 from repro import config

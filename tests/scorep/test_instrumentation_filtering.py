@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro import config
 from repro.errors import InstrumentationError
 from repro.execution.simulator import ExecutionSimulator
 from repro.hardware.node import ComputeNode
@@ -15,7 +14,6 @@ from repro.scorep.instrumentation import Instrumentation
 from repro.scorep.macros import annotate_phase
 from repro.scorep.profile import CallTreeProfile, ProfileCollector
 from repro.workloads import registry
-from repro.workloads.region import Region, RegionKind
 
 
 def profile_run(app, instrumentation=None):

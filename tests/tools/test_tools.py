@@ -5,7 +5,6 @@ import pytest
 from repro.errors import TraceError
 from repro.execution.simulator import ExecutionSimulator
 from repro.execution.slurm import SlurmAccounting
-from repro.hardware.cluster import Cluster
 from repro.hardware.node import ComputeNode
 from repro.scorep.hdeem_plugin import HdeemMetricPlugin
 from repro.scorep.otf2 import write_trace

@@ -5,7 +5,7 @@ import pytest
 from repro.errors import WorkloadError
 from repro.workloads.application import Application, ProgrammingModel
 from repro.workloads.generator import random_application
-from repro.workloads.region import Region, RegionKind, phase_region
+from repro.workloads.region import Region, phase_region
 from repro.workloads import registry
 
 

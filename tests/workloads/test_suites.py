@@ -11,7 +11,6 @@ import pytest
 from repro import config
 from repro.execution.timing import region_timing
 from repro.workloads import registry
-from repro.workloads.region import RegionKind
 from repro.workloads.suites.common import diversify_mix, moderate_profile
 
 

@@ -33,6 +33,7 @@ GATED_METRICS: dict[str, tuple[str, ...]] = {
     "sim_throughput": ("aggregate.speedup",),
     "tuning_time": ("model_evaluation.speedup",),
     "loocv_mape": (),
+    "table6_savings": ("aggregate.speedup",),
 }
 
 #: Dotted paths of boolean flags that must be true, per report kind.
@@ -40,6 +41,7 @@ REQUIRED_FLAGS: dict[str, tuple[str, ...]] = {
     "sim_throughput": (),
     "tuning_time": ("model_evaluation.selections_identical",),
     "loocv_mape": ("mape_identical",),
+    "table6_savings": ("aggregate.engines_identical",),
 }
 
 

@@ -16,6 +16,14 @@ For one benchmark:
 
 savings are computed relative to the default run and averaged over
 ``runs`` repetitions (the paper averages over five).
+
+Controlled runs execute through the simulator's controlled-replay fast
+path by default (bit-identical to the recursive engine); ``engine``
+selects explicitly for benchmarking.  With a
+:class:`~repro.campaign.engine.CampaignEngine` attached, the four run
+variants become ``savings``-mode campaign jobs instead — parallelisable
+across a worker pool and cacheable in the result store, bit-identical
+to the in-process loop.
 """
 
 from __future__ import annotations
@@ -25,6 +33,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import config
+from repro.campaign.plan import savings_jobs
+from repro.errors import CampaignError
 from repro.execution.simulator import ExecutionSimulator, OperatingPoint
 from repro.execution.slurm import SlurmAccounting
 from repro.hardware.cluster import Cluster
@@ -32,6 +42,21 @@ from repro.readex.rrl import RRL, StaticController
 from repro.readex.tuning_model import TuningModel
 from repro.scorep.instrumentation import Instrumentation
 from repro.workloads import registry
+
+#: Execution-engine choices for the controlled runs.
+ENGINES: tuple[str, ...] = ("auto", "recursive", "replay")
+
+#: ``engine`` name -> the simulator's ``fast_path`` argument.
+_FAST_PATH: dict[str, bool | None] = {
+    "auto": None,
+    "recursive": False,
+    "replay": True,
+}
+
+
+def validate_engine(engine: str) -> None:
+    if engine not in ENGINES:
+        raise CampaignError(f"unknown engine: {engine!r}; known: {ENGINES}")
 
 
 @dataclass(frozen=True)
@@ -105,11 +130,14 @@ def _averaged_runs(
     runs: int,
     key: str,
     seed: int,
+    engine: str = "auto",
 ) -> RunAverages:
     accounting = SlurmAccounting()
     cpu, job, time = [], [], []
+    # One registry build serves every repetition: runs never mutate the
+    # application, and no simulated quantity is keyed on object identity.
+    app = registry.build(benchmark)
     for r in range(runs):
-        app = registry.build(benchmark)
         node = cluster.fresh_node(node_id)
         node.reset_to_default()
         instr = instrumentation
@@ -122,6 +150,7 @@ def _averaged_runs(
             instrumented=instrumented,
             instrumentation=instr,
             run_key=(key, r),
+            fast_path=_FAST_PATH[engine],
         )
         record = accounting.submit(result)
         job.append(record.consumed_energy_j)
@@ -131,6 +160,21 @@ def _averaged_runs(
         job_energy_j=float(np.mean(job)),
         cpu_energy_j=float(np.mean(cpu)),
         time_s=float(np.mean(time)),
+    )
+
+
+def _averaged_jobs(results, jobs) -> RunAverages:
+    """Fold one variant's campaign payloads into run averages.
+
+    ``sacct`` job energy is node energy and elapsed time is run time
+    (see :meth:`~repro.execution.job.JobRecord.from_run`), so the
+    payload triple reproduces the in-process accounting exactly.
+    """
+    payloads = [results[job] for job in jobs]
+    return RunAverages(
+        job_energy_j=float(np.mean([p["node_energy_j"] for p in payloads])),
+        cpu_energy_j=float(np.mean([p["cpu_energy_j"] for p in payloads])),
+        time_s=float(np.mean([p["time_s"] for p in payloads])),
     )
 
 
@@ -144,16 +188,40 @@ def compare_static_dynamic(
     node_id: int = 0,
     runs: int = 5,
     seed: int = config.DEFAULT_SEED,
+    engine: str = "auto",
+    campaign=None,
 ) -> BenchmarkSavings:
-    """Produce one Table VI row for ``benchmark``."""
+    """Produce one Table VI row for ``benchmark``.
+
+    ``engine`` selects the execution engine of the underlying runs
+    (``auto``/``recursive``/``replay`` — bit-identical, so the row is
+    engine-independent).  With a ``campaign``
+    (:class:`~repro.campaign.engine.CampaignEngine`), the runs execute
+    as ``savings``-mode campaign jobs — cached in the engine's result
+    store and parallelisable — again bit-identical to the in-process
+    loop; ``engine`` must stay ``"auto"`` in that case because cached
+    payloads carry no engine choice.
+    """
+    validate_engine(engine)
     cluster = cluster or Cluster(2, seed=seed)
+    if campaign is not None:
+        if engine != "auto":
+            raise CampaignError(
+                "campaign-backed savings runs are engine-independent; "
+                "pass engine='auto'"
+            )
+        return _compare_via_campaign(
+            benchmark, static_config, tuning_model,
+            instrumentation=instrumentation, cluster=cluster,
+            node_id=node_id, runs=runs, seed=seed, campaign=campaign,
+        )
     default = _averaged_runs(
         benchmark, cluster, node_id,
         controller_factory=None,
         threads=config.DEFAULT_OPENMP_THREADS,
         instrumented=False,
         instrumentation=None,
-        runs=runs, key="default", seed=seed,
+        runs=runs, key="default", seed=seed, engine=engine,
     )
     static = _averaged_runs(
         benchmark, cluster, node_id,
@@ -161,7 +229,7 @@ def compare_static_dynamic(
         threads=static_config.threads,
         instrumented=False,
         instrumentation=None,
-        runs=runs, key="static", seed=seed,
+        runs=runs, key="static", seed=seed, engine=engine,
     )
     dynamic = _averaged_runs(
         benchmark, cluster, node_id,
@@ -169,7 +237,7 @@ def compare_static_dynamic(
         threads=config.DEFAULT_OPENMP_THREADS,
         instrumented=True,
         instrumentation=instrumentation,
-        runs=runs, key="dynamic", seed=seed,
+        runs=runs, key="dynamic", seed=seed, engine=engine,
     )
     config_only = _averaged_runs(
         benchmark, cluster, node_id,
@@ -177,7 +245,7 @@ def compare_static_dynamic(
         threads=config.DEFAULT_OPENMP_THREADS,
         instrumented=False,
         instrumentation=None,
-        runs=runs, key="config-only", seed=seed,
+        runs=runs, key="config-only", seed=seed, engine=engine,
     )
     return BenchmarkSavings(
         benchmark=benchmark,
@@ -186,4 +254,91 @@ def compare_static_dynamic(
         static=static,
         dynamic=dynamic,
         config_only=config_only,
+    )
+
+
+def savings_campaign_jobs(
+    benchmark: str,
+    static_config: OperatingPoint,
+    tuning_model: TuningModel,
+    *,
+    instrumentation: Instrumentation | None,
+    node_id: int,
+    runs: int,
+    seed: int,
+    node_seed: int,
+) -> dict[str, tuple]:
+    """The four Table VI run variants as campaign job batches."""
+    tmm_json = tuning_model.to_json()
+    filtered = (
+        None
+        if instrumentation is None
+        else tuple(sorted(instrumentation.filtered))
+    )
+    common = {"runs": runs, "node_id": node_id, "seed": seed,
+              "node_seed": node_seed}
+    return {
+        "default": savings_jobs(
+            benchmark, label="default",
+            threads=config.DEFAULT_OPENMP_THREADS, **common,
+        ),
+        "static": savings_jobs(
+            benchmark, label="static", controller="static",
+            core_freq_ghz=static_config.core_freq_ghz,
+            uncore_freq_ghz=static_config.uncore_freq_ghz,
+            threads=static_config.threads, **common,
+        ),
+        "dynamic": savings_jobs(
+            benchmark, label="dynamic", controller="rrl",
+            tuning_model=tmm_json, instrumented=True,
+            filtered_regions=filtered,
+            threads=config.DEFAULT_OPENMP_THREADS, **common,
+        ),
+        "config-only": savings_jobs(
+            benchmark, label="config-only", controller="rrl",
+            tuning_model=tmm_json,
+            threads=config.DEFAULT_OPENMP_THREADS, **common,
+        ),
+    }
+
+
+def _compare_via_campaign(
+    benchmark: str,
+    static_config: OperatingPoint,
+    tuning_model: TuningModel,
+    *,
+    instrumentation: Instrumentation | None,
+    cluster: Cluster,
+    node_id: int,
+    runs: int,
+    seed: int,
+    campaign,
+) -> BenchmarkSavings:
+    from repro.campaign.engine import run_app_jobs
+
+    if campaign.topology != cluster.topology:
+        # run_app_jobs lets an explicit engine's topology win, which
+        # would silently simulate different physics than the caller's
+        # cluster describes — and different rows than the in-process
+        # loop the campaign path promises to match bit-for-bit.
+        raise CampaignError(
+            f"campaign engine topology {campaign.topology!r} does not "
+            f"match the cluster's {cluster.topology!r}"
+        )
+    batches = savings_campaign_jobs(
+        benchmark, static_config, tuning_model,
+        instrumentation=instrumentation, node_id=node_id,
+        runs=runs, seed=seed, node_seed=cluster.seed,
+    )
+    jobs = tuple(job for batch in batches.values() for job in batch)
+    results = run_app_jobs(
+        jobs, registry.build(benchmark), cluster=cluster, engine=campaign
+    )
+    return BenchmarkSavings(
+        benchmark=benchmark,
+        static_config=static_config,
+        default=_averaged_jobs(results, batches["default"]),
+        static=_averaged_jobs(results, batches["static"]),
+        dynamic=_averaged_jobs(results, batches["dynamic"]),
+        config_only=_averaged_jobs(results, batches["config-only"]),
     )

@@ -20,10 +20,17 @@ Payload layout by mode:
     the phase region's instances of one run.
 ``sweep`` / ``static``
     ``{"node_energy_j": J, "cpu_energy_j": J, "time_s": s}``.
+``savings``
+    The energy triple plus ``switching_time_s`` and
+    ``instrumentation_time_s`` — the controlled production runs of the
+    Table VI comparison.  Controller-driven jobs execute through the
+    simulator's controlled-replay fast path, bit-identical to the
+    recursive engine, so cached savings results agree across engines.
 """
 
 from __future__ import annotations
 
+import functools
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
@@ -57,6 +64,13 @@ REQUIRED_PAYLOAD_KEYS: dict[str, tuple[str, ...]] = {
     "counters": ("totals", "phase_time_s"),
     "sweep": ("node_energy_j", "cpu_energy_j", "time_s"),
     "static": ("node_energy_j", "cpu_energy_j", "time_s"),
+    "savings": (
+        "node_energy_j",
+        "cpu_energy_j",
+        "time_s",
+        "switching_time_s",
+        "instrumentation_time_s",
+    ),
 }
 
 
@@ -119,6 +133,46 @@ class _PhaseCounterCollector:
             self.phase_time += metrics["time_s"]
 
 
+@functools.lru_cache(maxsize=64)
+def _tuning_model_from_json(text: str):
+    """Parse (and share) tuning models across a process's savings jobs.
+
+    Repetitions of one configuration reference the same serialised
+    model; sharing the parsed instance lets the RRL's compiled-schedule
+    cache amortise the switch-schedule walk across them.
+    """
+    from repro.readex.tuning_model import TuningModel
+
+    return TuningModel.from_json(text)
+
+
+def _build_controller(job: CampaignJob):
+    """Rebuild a ``savings`` job's controller from its description."""
+    if job.controller == "none":
+        return None
+    from repro.execution.simulator import OperatingPoint
+    from repro.readex.rrl import RRL, StaticController
+
+    if job.controller == "static":
+        return StaticController(
+            OperatingPoint(
+                core_freq_ghz=job.core_freq_ghz,
+                uncore_freq_ghz=job.uncore_freq_ghz,
+                threads=job.threads,
+            )
+        )
+    return RRL(_tuning_model_from_json(job.tuning_model))
+
+
+def _build_instrumentation(job: CampaignJob, app: Application):
+    """Rebuild a ``savings`` job's compile-time filter, if any."""
+    if job.filtered_regions is None:
+        return None
+    from repro.scorep.instrumentation import Instrumentation
+
+    return Instrumentation(app=app, filtered=set(job.filtered_regions))
+
+
 def execute_job(
     job: CampaignJob,
     topology: NodeTopology | None = None,
@@ -133,6 +187,25 @@ def execute_job(
     if app is None:
         app = registry.build(job.app)
     node = ComputeNode(job.node_id, seed=job.node_seed, topology=topology)
+    if job.mode == "savings":
+        # Controlled production run: the node starts at the platform
+        # default and the controller (if any) reprograms it.
+        simulator = ExecutionSimulator(node, seed=job.seed)
+        run = simulator.run(
+            app,
+            threads=job.threads,
+            controller=_build_controller(job),
+            instrumented=job.instrumented,
+            instrumentation=_build_instrumentation(job, app),
+            run_key=job.run_key(),
+        )
+        return {
+            "node_energy_j": run.node_energy_j,
+            "cpu_energy_j": run.cpu_energy_j,
+            "time_s": run.time_s,
+            "switching_time_s": run.switching_time_s,
+            "instrumentation_time_s": run.instrumentation_time_s,
+        }
     node.set_frequencies(job.core_freq_ghz, job.uncore_freq_ghz)
     simulator = ExecutionSimulator(node, seed=job.seed)
     if job.mode == "counters":

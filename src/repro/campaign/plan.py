@@ -14,10 +14,18 @@ expand benchmark lists into the paper's grids:
 ``static``
     Plain energy runs over the full (threads x CF x UCF) grid — the
     exhaustive static baseline (Section V-D).
+``savings``
+    Controlled production runs of the Table VI comparison: optionally
+    under a controller (the RRL with a serialised tuning model, or the
+    static-configuration controller), optionally instrumented with a
+    compile-time filter.  Controller-driven jobs execute through the
+    simulator's controlled-replay fast path
+    (:mod:`repro.execution.controlled_replay`).
 
 ``sweep`` and ``static`` differ only in the label mixed into the noise
 streams; both labels are kept so campaign results stay bit-identical to
-the pre-campaign serial code paths.
+the pre-campaign serial code paths.  ``savings`` jobs carry their label
+explicitly, matching :mod:`repro.analysis.savings`' historical run keys.
 """
 
 from __future__ import annotations
@@ -33,7 +41,10 @@ from repro.workloads import registry
 from repro.workloads.application import Application
 
 #: The instrumentation/measurement modes a job can run under.
-MODES: tuple[str, ...] = ("counters", "sweep", "static")
+MODES: tuple[str, ...] = ("counters", "sweep", "static", "savings")
+
+#: Controller kinds a ``savings`` job can attach.
+CONTROLLERS: tuple[str, ...] = ("none", "static", "rrl")
 
 #: Runs averaged for one counter measurement (PMU multiplexing).
 COUNTER_MEASUREMENT_RUNS = 3
@@ -60,6 +71,13 @@ class CampaignJob:
     node_seed: int = config.DEFAULT_SEED
     repetition: int = 0
     counters: tuple[str, ...] = ()
+    #: ``savings``-mode extras (ignored — and absent from descriptors —
+    #: for the other modes, so historical store keys are unchanged).
+    label: str = ""
+    controller: str = "none"
+    tuning_model: str | None = None
+    filtered_regions: tuple[str, ...] | None = None
+    instrumented: bool = False
 
     def __post_init__(self):
         if self.mode not in MODES:
@@ -68,6 +86,18 @@ class CampaignJob:
             )
         if self.mode == "counters" and not self.counters:
             raise CampaignError("counters mode requires a counter set")
+        if self.mode == "savings":
+            if not self.label:
+                raise CampaignError("savings mode requires a run-key label")
+            if self.controller not in CONTROLLERS:
+                raise CampaignError(
+                    f"unknown controller: {self.controller!r}; "
+                    f"known: {CONTROLLERS}"
+                )
+            if self.controller == "rrl" and not self.tuning_model:
+                raise CampaignError(
+                    "savings jobs with the rrl controller need a tuning model"
+                )
 
     def run_key(self) -> tuple:
         """The simulator noise-stream label (mirrors the serial paths)."""
@@ -75,11 +105,13 @@ class CampaignJob:
             return ("counters", self.threads, self.repetition)
         if self.mode == "sweep":
             return ("sweep", self.threads, self.core_freq_ghz, self.uncore_freq_ghz)
+        if self.mode == "savings":
+            return (self.label, self.repetition)
         return ("static", self.core_freq_ghz, self.uncore_freq_ghz, self.threads)
 
     def descriptor(self) -> dict[str, Any]:
         """JSON-able canonical form, hashed into the store key."""
-        return {
+        descriptor = {
             "app": self.app,
             "mode": self.mode,
             "core_freq_ghz": self.core_freq_ghz,
@@ -91,6 +123,21 @@ class CampaignJob:
             "repetition": self.repetition,
             "counters": list(self.counters),
         }
+        if self.mode == "savings":
+            descriptor.update(
+                {
+                    "label": self.label,
+                    "controller": self.controller,
+                    "tuning_model": self.tuning_model,
+                    "filtered_regions": (
+                        None
+                        if self.filtered_regions is None
+                        else sorted(self.filtered_regions)
+                    ),
+                    "instrumented": self.instrumented,
+                }
+            )
+        return descriptor
 
 
 @dataclass(frozen=True)
@@ -276,6 +323,56 @@ def static_jobs(
             node_seed=seed if node_seed is None else node_seed,
         )
         for p in points
+    )
+
+
+def savings_jobs(
+    app_name: str,
+    *,
+    label: str,
+    runs: int,
+    threads: int,
+    controller: str = "none",
+    tuning_model: str | None = None,
+    filtered_regions: tuple[str, ...] | None = None,
+    instrumented: bool = False,
+    core_freq_ghz: float = config.DEFAULT_CORE_FREQ_GHZ,
+    uncore_freq_ghz: float = config.DEFAULT_UNCORE_FREQ_GHZ,
+    node_id: int = 0,
+    seed: int = config.DEFAULT_SEED,
+    node_seed: int | None = None,
+) -> tuple[CampaignJob, ...]:
+    """One controlled production run per averaged repetition (Table VI).
+
+    ``label`` is mixed verbatim into the noise streams, so these jobs
+    are bit-identical to :mod:`repro.analysis.savings`' historical
+    in-process runs.  The node always starts at the platform default
+    operating point; with ``controller="static"`` the job's
+    frequency/thread fields describe the configuration the one-shot
+    controller applies, and with ``"rrl"`` the serialised tuning model
+    drives switching.
+    """
+    filtered = (
+        None if filtered_regions is None else tuple(sorted(filtered_regions))
+    )
+    return tuple(
+        CampaignJob(
+            app=app_name,
+            mode="savings",
+            core_freq_ghz=core_freq_ghz,
+            uncore_freq_ghz=uncore_freq_ghz,
+            threads=threads,
+            node_id=node_id,
+            seed=seed,
+            node_seed=seed if node_seed is None else node_seed,
+            repetition=r,
+            label=label,
+            controller=controller,
+            tuning_model=tuning_model,
+            filtered_regions=filtered,
+            instrumented=instrumented,
+        )
+        for r in range(runs)
     )
 
 

@@ -82,8 +82,16 @@ class ResultStore:
                     and isinstance(record.get("key"), str)
                     and isinstance(record.get("result"), dict)
                 ):
+                    previous = self._records.get(record["key"])
                     if record.get("store_version") != STORE_VERSION:
                         self.stale_records += 1
+                    if (
+                        previous is not None
+                        and previous.get("store_version") != STORE_VERSION
+                    ):
+                        # A later line supersedes a stale one (a healed
+                        # record): the dead line no longer counts.
+                        self.stale_records -= 1
                     self._records[record["key"]] = record
 
     def _append(self, record: dict[str, Any]) -> None:
@@ -122,11 +130,24 @@ class ResultStore:
     def put(
         self, key: str, descriptor: dict[str, Any], result: dict[str, Any]
     ) -> None:
-        """Insert a result; re-putting an existing key is a no-op."""
-        if key in self._records:
+        """Insert a result; re-putting an existing key is a no-op.
+
+        A key held by a record of *another* schema version is overwritten
+        instead of no-opped: silently dropping a freshly computed
+        current-schema result would leave the entry permanently stale for
+        any writer that recomputes without recalling first (the campaign
+        engine itself never reaches this — :meth:`get` raises on such
+        records and the documented recovery is deleting the file).  The
+        replacement is appended; loading is last-wins, so the healed
+        record takes effect across sessions too.
+        """
+        existing = self._records.get(key)
+        if existing is not None and existing.get("store_version") == STORE_VERSION:
             return
         if job_key(descriptor) != key:
             raise CampaignError("store key does not match the job descriptor")
+        if existing is not None:
+            self.stale_records = max(0, self.stale_records - 1)
         record = {
             "key": key,
             "store_version": STORE_VERSION,

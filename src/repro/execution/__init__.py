@@ -12,7 +12,9 @@ from repro.execution.simulator import (
     OperatingPoint,
     RegionInstance,
     RunResult,
+    ScheduleCompiler,
 )
+from repro.execution.controlled_replay import ControlSchedule, ScheduleCache
 from repro.execution.job import JobRecord, JobStep
 from repro.execution.slurm import SlurmAccounting
 
@@ -25,6 +27,9 @@ __all__ = [
     "OperatingPoint",
     "RegionInstance",
     "RunResult",
+    "ScheduleCompiler",
+    "ControlSchedule",
+    "ScheduleCache",
     "JobRecord",
     "JobStep",
     "SlurmAccounting",

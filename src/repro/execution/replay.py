@@ -36,8 +36,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro import config
 from repro.counters.generation import MeasurementContext
+from repro.execution.simulator import probe_overhead_s
 from repro.execution.timing import RegionTiming, region_timing
 from repro.util.rng import StreamPrefix, batched_lognormal
 from repro.workloads.application import Application
@@ -144,8 +144,7 @@ def _compile(
                     uncore_activity=0.1,
                     membw_gbs=0.0,
                 )
-            events = 2 + region.internal_events
-            probe_s = events * region.calls_per_phase * config.SCOREP_PROBE_OVERHEAD_S
+            probe_s = probe_overhead_s(region)
             charges.append((index, True))
         children = tuple(visit(child) for child in region.children)
         slots[index] = _Slot(

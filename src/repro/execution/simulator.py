@@ -18,13 +18,16 @@ counterparts: through region enter/exit callbacks.
 Two execution engines produce the same results:
 
 * the **generic recursive engine** in this module — region-by-region
-  tree walking with callbacks, required whenever a controller may
-  reprogram the hardware mid-run or listeners observe events;
-* the **vectorized replay engine** (:mod:`repro.execution.replay`) —
-  for uncontrolled, unobserved runs (the dataset-build / exhaustive
-  search / benchmark common case) the region schedule is compiled once
-  and all ``phase_iterations x instances`` replay in bulk, bit-identical
-  to the recursion and an order of magnitude faster.
+  tree walking with callbacks, required whenever listeners observe
+  events or a controller cannot pre-declare its switching behaviour;
+* the **vectorized replay engine** — for uncontrolled runs
+  (:mod:`repro.execution.replay`) the region schedule is compiled once
+  and all ``phase_iterations x instances`` replay in bulk; controlled
+  runs whose controller implements the :class:`ScheduleCompiler`
+  protocol (the RRL and the static controller do) compile their switch
+  schedule the same way and replay segment-by-segment
+  (:mod:`repro.execution.controlled_replay`).  Both paths are
+  bit-identical to the recursion and an order of magnitude faster.
 
 :meth:`ExecutionSimulator.run` dispatches automatically; the
 ``fast_path`` parameter overrides the choice.
@@ -46,6 +49,32 @@ from repro.workloads.region import Region
 
 #: Multiplicative run-to-run execution-time noise.
 TIME_NOISE_SIGMA = 0.0025
+
+
+def probe_overhead_s(region: "Region") -> float:
+    """Instrumentation overhead of one region call: enter+exit probes
+    plus the unfilterable internal events (OpenMP/MPI wrappers).
+
+    Shared by every engine (recursive, uncontrolled replay, controlled
+    replay) so the probe model cannot drift between them.
+    """
+    events = 2 + region.internal_events
+    return events * region.calls_per_phase * config.SCOREP_PROBE_OVERHEAD_S
+
+
+def pending_switch_latency_s(dvfs_transitions: int, ufs_transitions: int) -> float:
+    """Hardware latency charged for pending frequency transitions.
+
+    One DVFS and one UFS latency at most per check, however many
+    cores/sockets switched — shared by the recursive engine and the
+    controlled-replay schedule compiler.
+    """
+    latency = 0.0
+    if dvfs_transitions:
+        latency += config.DVFS_TRANSITION_LATENCY_S
+    if ufs_transitions:
+        latency += config.UFS_TRANSITION_LATENCY_S
+    return latency
 
 
 @dataclass(frozen=True)
@@ -72,6 +101,27 @@ class RunController(Protocol):
 
     def on_region_exit(self, region: Region, iteration: int, node: ComputeNode) -> None:
         """Called after a region body finishes."""
+
+
+class ScheduleCompiler(Protocol):
+    """Opt-in protocol for controllers whose switching is compilable.
+
+    A controller implementing ``compile_schedule`` promises that its
+    decisions depend only on region names and the hardware state it
+    observes — never on simulated time, noise or the iteration index —
+    so the run's switch schedule can be compiled up front and replayed
+    through the vectorized fast path
+    (:mod:`repro.execution.controlled_replay`).  Returning ``None``
+    declines the fast path for this run; the implementation must leave
+    the controller and node untouched in that case, and the simulator
+    falls back to the recursive engine.
+    """
+
+    def compile_schedule(
+        self, app, node: ComputeNode, *, threads: int, instrumented: bool,
+        instrumentation,
+    ):
+        """Compile the run's switch schedule, or return ``None``."""
 
 
 class RunListener(Protocol):
@@ -268,13 +318,15 @@ class ExecutionSimulator:
             reproducibly.
         fast_path:
             Engine selection.  ``None`` (default) picks automatically:
-            runs without a controller and without listeners replay
-            through the vectorized fast path
-            (:mod:`repro.execution.replay`), which is bit-identical to
-            the recursive engine; controlled/observed runs use the
-            generic recursion.  ``False`` forces the generic engine,
-            ``True`` demands the fast path and raises if the run is not
-            eligible.
+            runs without listeners replay through a vectorized fast
+            path — uncontrolled runs via :mod:`repro.execution.replay`,
+            controlled runs whose controller implements
+            :class:`ScheduleCompiler` via
+            :mod:`repro.execution.controlled_replay` — both
+            bit-identical to the recursive engine.  Observed runs and
+            foreign controllers use the generic recursion.  ``False``
+            forces the generic engine, ``True`` demands the fast path
+            and raises if the run is not eligible.
         """
         if listeners or instrumentation is not None:
             instrumented = True
@@ -284,24 +336,48 @@ class ExecutionSimulator:
         if not 1 <= threads <= self.node.topology.num_cores:
             raise WorkloadError(f"invalid thread count: {threads}")
 
-        eligible = controller is None and not listeners
+        compiler = getattr(controller, "compile_schedule", None)
+        eligible = not listeners and (controller is None or compiler is not None)
         if fast_path is None:
-            fast_path = eligible
+            attempt_fast = eligible
         elif fast_path and not eligible:
             raise WorkloadError(
-                "fast_path requires a run without controller and listeners"
+                "fast_path requires a run without listeners whose controller "
+                "(if any) implements the compile_schedule protocol"
             )
-        if fast_path:
-            from repro.execution.replay import replay_run
+        else:
+            attempt_fast = fast_path
+        if attempt_fast:
+            if controller is None:
+                from repro.execution.replay import replay_run
 
-            return replay_run(
+                return replay_run(
+                    self,
+                    app,
+                    threads=threads,
+                    instrumented=instrumented,
+                    instrumentation=instrumentation,
+                    run_key=run_key,
+                )
+            from repro.execution.controlled_replay import replay_controlled_run
+
+            result = replay_controlled_run(
                 self,
                 app,
+                controller,
                 threads=threads,
                 instrumented=instrumented,
                 instrumentation=instrumentation,
                 run_key=run_key,
             )
+            if result is not None:
+                return result
+            if fast_path:
+                raise WorkloadError(
+                    "controller declined to compile a switch schedule for "
+                    "the demanded fast path"
+                )
+            # declined: fall through to the recursive engine
 
         result = RunResult(
             app_name=app.name,
@@ -377,11 +453,7 @@ class ExecutionSimulator:
         ufs_n = self.node.ufs.log.count
         self.node.dvfs.log.clear()
         self.node.ufs.log.clear()
-        latency = 0.0
-        if dvfs_n:
-            latency += config.DVFS_TRANSITION_LATENCY_S
-        if ufs_n:
-            latency += config.UFS_TRANSITION_LATENCY_S
+        latency = pending_switch_latency_s(dvfs_n, ufs_n)
         if latency > 0:
             breakdown = self.node.compute_power(
                 active_threads=threads,
@@ -393,10 +465,7 @@ class ExecutionSimulator:
             result.switching_time_s += latency
 
     def _probe_overhead_s(self, region: Region) -> float:
-        """Instrumentation overhead for one region call: enter+exit probes
-        plus the unfilterable internal events (OpenMP/MPI wrappers)."""
-        events = 2 + region.internal_events
-        return events * region.calls_per_phase * config.SCOREP_PROBE_OVERHEAD_S
+        return probe_overhead_s(region)
 
     def _exec_region(
         self,

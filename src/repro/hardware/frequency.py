@@ -17,9 +17,21 @@ from repro.hardware.msr import MSR, MSRRegisterFile, ghz_of_ratio, ratio_of_ghz
 from repro.hardware.topology import NodeTopology
 
 
+_QUANTIZED: dict[float, float] = {}
+
+
 def quantize_frequency(freq_ghz: float) -> float:
-    """Snap ``freq_ghz`` to the 100 MHz grid (nearest step)."""
-    return round(round(freq_ghz / config.FREQ_STEP_GHZ) * config.FREQ_STEP_GHZ, 1)
+    """Snap ``freq_ghz`` to the 100 MHz grid (nearest step).
+
+    Memoised: the call sits on the per-core programming path of every
+    frequency switch, over a domain of a few dozen distinct values.
+    """
+    q = _QUANTIZED.get(freq_ghz)
+    if q is None:
+        q = _QUANTIZED[freq_ghz] = round(
+            round(freq_ghz / config.FREQ_STEP_GHZ) * config.FREQ_STEP_GHZ, 1
+        )
+    return q
 
 
 @dataclass(frozen=True)
@@ -66,15 +78,27 @@ class DVFSController:
         self._regfile = regfile
         self._topology = topology
         self.log = _TransitionLog()
-        for core in topology.all_core_ids():
-            self._program(core, config.DEFAULT_CORE_FREQ_GHZ, record=False)
+        self._node_freq_cache: tuple[int, float] | None = None
+        # Reset programming: every core at the platform default, as one
+        # bulk register fill (same end state as per-core _program calls,
+        # nothing logged — the node boots at this configuration).
+        ratio = ratio_of_ghz(config.DEFAULT_CORE_FREQ_GHZ)
+        regfile.hw_fill(MSR.IA32_PERF_CTL, (ratio & 0xFF) << 8)
+        regfile.hw_fill(MSR.IA32_PERF_STATUS, (ratio & 0xFF) << 8)
 
     def _program(self, core_id: int, freq_ghz: float, *, record: bool) -> None:
-        old = self.get_frequency(core_id)
         ratio = ratio_of_ghz(freq_ghz)
         ctl = self._regfile.read(core_id, MSR.IA32_PERF_CTL)
-        ctl = (ctl & ~(0xFF << 8)) | ((ratio & 0xFF) << 8)
-        self._regfile.write(core_id, MSR.IA32_PERF_CTL, ctl)
+        new_ctl = (ctl & ~(0xFF << 8)) | ((ratio & 0xFF) << 8)
+        if new_ctl == ctl:
+            # The register already encodes this ratio, so PERF_STATUS is
+            # in sync (writes always grant the target) and no transition
+            # can be due: programming would be a complete no-op.  This
+            # makes redundant node-wide reprogramming (reset on a fresh
+            # node, replay fast-forward to an unchanged state) free.
+            return
+        old = self.get_frequency(core_id) if record else None
+        self._regfile.write(core_id, MSR.IA32_PERF_CTL, new_ctl)
         # Hardware grants the request immediately in the simulation.
         self._regfile.hw_set(core_id, MSR.IA32_PERF_STATUS, (ratio & 0xFF) << 8)
         if record and old != freq_ghz:
@@ -114,11 +138,24 @@ class DVFSController:
         return ghz_of_ratio(ratio)
 
     def node_frequency(self) -> float:
-        """Return the common frequency if all cores agree, else raise."""
+        """Return the common frequency if all cores agree, else raise.
+
+        Reading every core's registers per call made this the hottest
+        spot of controller-driven runs; the derived value is cached
+        against the register file's mutation counter, so any write —
+        through this controller, x86_adapt or a raw ``wrmsr`` —
+        invalidates it exactly.
+        """
+        cached = self._node_freq_cache
+        generation = self._regfile.generation
+        if cached is not None and cached[0] == generation:
+            return cached[1]
         freqs = {self.get_frequency(c) for c in self._topology.all_core_ids()}
         if len(freqs) != 1:
             raise FrequencyError(f"cores run at mixed frequencies: {sorted(freqs)}")
-        return freqs.pop()
+        value = freqs.pop()
+        self._node_freq_cache = (generation, value)
+        return value
 
 
 class UFSController:
@@ -132,19 +169,26 @@ class UFSController:
         self._regfile = regfile
         self._topology = topology
         self.log = _TransitionLog()
+        self._node_freq_cache: tuple[int, float] | None = None
         self._cores_per_socket = topology.sockets[0].num_cores
-        for socket in topology.sockets:
-            self._program(socket.socket_id, config.DEFAULT_UNCORE_FREQ_GHZ, record=False)
+        # Reset programming, as in the DVFS controller: one bulk fill.
+        ratio = ratio_of_ghz(config.DEFAULT_UNCORE_FREQ_GHZ)
+        regfile.hw_fill(
+            MSR.MSR_UNCORE_RATIO_LIMIT, (ratio & 0x7F) | ((ratio & 0x7F) << 8)
+        )
 
     def _any_core_of(self, socket_id: int) -> int:
         return self._topology.sockets[socket_id].cores[0].core_id
 
     def _program(self, socket_id: int, freq_ghz: float, *, record: bool) -> None:
-        old = self.get_frequency(socket_id)
         ratio = ratio_of_ghz(freq_ghz)
         # bits 0:6 = max ratio, bits 8:14 = min ratio
         value = (ratio & 0x7F) | ((ratio & 0x7F) << 8)
-        self._regfile.write(self._any_core_of(socket_id), MSR.MSR_UNCORE_RATIO_LIMIT, value)
+        core = self._any_core_of(socket_id)
+        if self._regfile.read(core, MSR.MSR_UNCORE_RATIO_LIMIT) == value:
+            return  # register already encodes this ratio: full no-op
+        old = self.get_frequency(socket_id) if record else None
+        self._regfile.write(core, MSR.MSR_UNCORE_RATIO_LIMIT, value)
         if record and old != freq_ghz:
             self.log.record(
                 FrequencyTransition(
@@ -182,7 +226,14 @@ class UFSController:
         return ghz_of_ratio(ratio)
 
     def node_frequency(self) -> float:
+        """Common uncore frequency, cached like its DVFS counterpart."""
+        cached = self._node_freq_cache
+        generation = self._regfile.generation
+        if cached is not None and cached[0] == generation:
+            return cached[1]
         freqs = {self.get_frequency(s.socket_id) for s in self._topology.sockets}
         if len(freqs) != 1:
             raise FrequencyError(f"sockets run at mixed uncore frequencies: {sorted(freqs)}")
-        return freqs.pop()
+        value = freqs.pop()
+        self._node_freq_cache = (generation, value)
+        return value

@@ -72,15 +72,34 @@ _REGISTER_SPECS: dict[int, _RegisterSpec] = {
 
 _U64_MASK = (1 << 64) - 1
 
+#: Registers whose mutation can change a node frequency (see
+#: ``MSRRegisterFile.generation``).
+_FREQUENCY_REGISTERS = frozenset(
+    {MSR.IA32_PERF_CTL, MSR.IA32_PERF_STATUS, MSR.MSR_UNCORE_RATIO_LIMIT}
+)
+
+
+#: Conversion memos: the ratio/GHz domain is tiny (tens of grid points)
+#: but the conversions run once per core per frequency programming, which
+#: makes the ``round`` calls a measurable cost of controller-driven runs.
+_RATIO_OF_GHZ: dict[float, int] = {}
+_GHZ_OF_RATIO: dict[int, float] = {}
+
 
 def ratio_of_ghz(freq_ghz: float) -> int:
     """Encode a frequency as a bus-clock ratio (100 MHz units)."""
-    return int(round(freq_ghz / config.BUS_CLOCK_GHZ))
+    ratio = _RATIO_OF_GHZ.get(freq_ghz)
+    if ratio is None:
+        ratio = _RATIO_OF_GHZ[freq_ghz] = int(round(freq_ghz / config.BUS_CLOCK_GHZ))
+    return ratio
 
 
 def ghz_of_ratio(ratio: int) -> float:
     """Decode a bus-clock ratio back to GHz."""
-    return round(ratio * config.BUS_CLOCK_GHZ, 1)
+    ghz = _GHZ_OF_RATIO.get(ratio)
+    if ghz is None:
+        ghz = _GHZ_OF_RATIO[ratio] = round(ratio * config.BUS_CLOCK_GHZ, 1)
+    return ghz
 
 
 class MSRRegisterFile:
@@ -98,6 +117,14 @@ class MSRRegisterFile:
         self._num_sockets = num_sockets
         self._cores_per_socket = cores_per_socket
         self._values: dict[tuple[int, int], int] = {}
+        #: Monotonic mutation counter over the *frequency* registers
+        #: (P-state and uncore-ratio), bumped by every write/hw_set that
+        #: touches one — including direct ``wrmsr`` — so the controllers'
+        #: node-frequency caches invalidate exactly.  Energy-counter
+        #: updates (RAPL deposits, every meter charge) deliberately do
+        #: not bump it: they cannot change a frequency, and counting them
+        #: would evict the cache once per charge.
+        self.generation = 0
         for addr, spec in _REGISTER_SPECS.items():
             domains = num_cores if spec.scope is RegisterScope.CORE else num_sockets
             for d in range(domains):
@@ -139,6 +166,8 @@ class MSRRegisterFile:
         if not 0 <= value <= _U64_MASK:
             raise MSRError(f"MSR value out of 64-bit range: {value:#x}")
         self._values[(addr, self._domain(addr, cpu))] = value
+        if addr in _FREQUENCY_REGISTERS:
+            self.generation += 1
         if addr == MSR.IA32_PERF_CTL:
             # The P-state machine grants the requested ratio: the target in
             # PERF_CTL bits 8:15 becomes the current ratio in PERF_STATUS.
@@ -146,10 +175,31 @@ class MSRRegisterFile:
             self.hw_set(cpu, MSR.IA32_PERF_STATUS, ratio << 8)
 
     # -- hardware-side interface (used by the node simulation, not guests) -
+    def hw_fill(self, addr: int, value: int) -> None:
+        """Set every instance of one register (hardware reset programming).
+
+        Equivalent to ``hw_set`` over all domains; used by the DVFS/UFS
+        controllers to bring a fresh node to the platform default in one
+        pass instead of one read-modify-write cycle per core.
+        """
+        spec = self._spec(addr)
+        domains = (
+            self._num_cores
+            if spec.scope is RegisterScope.CORE
+            else self._num_sockets
+        )
+        value &= _U64_MASK
+        for domain in range(domains):
+            self._values[(addr, domain)] = value
+        if addr in _FREQUENCY_REGISTERS:
+            self.generation += 1
+
     def hw_set(self, cpu: int, addr: int, value: int) -> None:
         """Set any register, bypassing write protection (hardware updates)."""
         self._spec(addr)
         self._values[(addr, self._domain(addr, cpu))] = value & _U64_MASK
+        if addr in _FREQUENCY_REGISTERS:
+            self.generation += 1
 
     def hw_get(self, cpu: int, addr: int) -> int:
         return self._values[(addr, self._domain(addr, cpu))]

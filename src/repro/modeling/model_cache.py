@@ -22,7 +22,7 @@ from typing import Any
 import numpy as np
 
 from repro.campaign.store import ResultStore, job_key
-from repro.errors import ModelError
+from repro.errors import CampaignError, ModelError
 from repro.modeling.network import EnergyNetwork
 from repro.modeling.scaler import StandardScaler
 from repro.modeling.training import TrainedModel, TrainingConfig, train_network
@@ -70,7 +70,8 @@ def model_from_payload(payload: dict[str, Any]) -> TrainedModel:
 
     Raises a clear :class:`~repro.errors.ModelError` when the payload
     does not match the current schema (e.g. an entry persisted by an
-    older store layout) instead of a raw ``KeyError``.
+    older store layout) instead of a raw ``KeyError`` — including when
+    only the *inner* network/scaler layout is outdated.
     """
     missing = [k for k in MODEL_PAYLOAD_KEYS if k not in payload]
     if missing:
@@ -79,11 +80,18 @@ def model_from_payload(payload: dict[str, Any]) -> TrainedModel:
             "was produced by an older store schema; delete the store "
             "file to retrain"
         )
-    return TrainedModel(
-        network=EnergyNetwork.from_dict(payload["network"]),
-        scaler=StandardScaler.from_dict(payload["scaler"]),
-        losses=[float(v) for v in payload["losses"]],
-    )
+    try:
+        return TrainedModel(
+            network=EnergyNetwork.from_dict(payload["network"]),
+            scaler=StandardScaler.from_dict(payload["scaler"]),
+            losses=[float(v) for v in payload["losses"]],
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ModelError(
+            f"cached model payload does not match the current parameter "
+            f"layout ({exc!r}): the entry was produced by an older store "
+            "schema; delete the store file to retrain"
+        ) from None
 
 
 def train_network_cached(
@@ -103,7 +111,14 @@ def train_network_cached(
     key = job_key(descriptor)
     cached = store.get(key)
     if cached is not None:
-        return model_from_payload(cached)
+        try:
+            return model_from_payload(cached)
+        except ModelError as exc:
+            # A recalled entry whose payload layout is stale is a store
+            # problem, not a modelling one: surface the campaign error
+            # the rest of the cache layer documents, naming the file.
+            where = store.path if store.path is not None else "<in-memory store>"
+            raise CampaignError(f"{exc} (store: {where})") from None
     model = train_network(features, targets, config=config)
     store.put(key, descriptor, model_to_payload(model))
     return model

@@ -7,12 +7,21 @@ to a scenario whose configuration differs from the current hardware state
 — switches core/uncore frequency and thread count through the PCPs.  At
 phase-region enter it applies the phase scenario (or the model default),
 so untuned stretches run at a well-defined configuration.
+
+Because those decisions depend only on region names and the current
+hardware state, both the RRL and the static-tuning controller implement
+the ``compile_schedule`` protocol: the execution simulator compiles
+their switch schedule once and replays controlled runs through the
+vectorized fast path (:mod:`repro.execution.controlled_replay`),
+bit-identical to the recursive engine — including every field of
+:class:`RRLStatistics`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
+from repro.execution.controlled_replay import ScheduleCachePool
 from repro.execution.simulator import OperatingPoint
 from repro.hardware.node import ComputeNode
 from repro.readex.pcp import CpuFreqPlugin, OpenMPTPlugin, UncoreFreqPlugin
@@ -58,6 +67,91 @@ class RRL:
     def on_region_exit(self, region: Region, iteration: int, node: ComputeNode) -> None:
         return None  # switching happens on enters only
 
+    # -- ScheduleCompiler interface ----------------------------------------
+    def compile_schedule(
+        self, app, node: ComputeNode, *, threads: int, instrumented: bool,
+        instrumentation,
+    ):
+        """Compile this run's switch schedule for the replay fast path.
+
+        The scenario lookup is keyed by region name only, so the RRL's
+        behaviour is iteration-independent and the generic trace walk
+        applies; statistics of unwalked (extrapolated) iterations are
+        scaled from the steady pattern's delta.
+
+        Compiles are cached on the tuning model: repeated runs of the
+        same configuration (the Table 6 sweep averages five per variant)
+        pay for the symbolic walk once.  The walk runs against a fresh
+        *probe* RRL seeded with this instance's runtime state, so on
+        both hit and miss this controller absorbs exactly the statistics
+        delta the recursive engine would have produced, and the node
+        ends at the run's final frequencies with drained logs.
+        """
+        from repro.execution.controlled_replay import (
+            CompiledControl,
+            compile_or_reuse,
+            compile_schedule_by_walk,
+            schedule_cache_for,
+            schedule_cache_key,
+        )
+
+        def build() -> CompiledControl:
+            probe = RRL(self.tuning_model)
+            probe._current_threads = self._current_threads
+            schedule = compile_schedule_by_walk(
+                probe, app, node,
+                threads=threads,
+                instrumented=instrumented,
+                instrumentation=instrumentation,
+                state_key=lambda: probe._current_threads,
+                snapshot_stats=lambda: replace(
+                    probe.stats, applied=dict(probe.stats.applied)
+                ),
+                extrapolate_stats=probe._extrapolate_stats,
+            )
+            return CompiledControl(
+                schedule=schedule,
+                controller_state=probe._current_threads,
+                stats=probe.stats,
+                final_core_ghz=node.core_freq_ghz,
+                final_uncore_ghz=node.uncore_freq_ghz,
+            )
+
+        key = schedule_cache_key(
+            node,
+            threads=threads,
+            instrumented=instrumented,
+            instrumentation=instrumentation,
+        ) + (self._current_threads,)
+        compiled = compile_or_reuse(
+            schedule_cache_for(self.tuning_model), app, node, key, build
+        )
+        self._absorb_stats(compiled.stats)
+        self._current_threads = compiled.controller_state
+        return compiled.schedule
+
+    def _extrapolate_stats(
+        self, before: RRLStatistics, after: RRLStatistics, copies: int
+    ) -> None:
+        """Add ``copies`` repetitions of the (before -> after) delta."""
+        stats = self.stats
+        stats.region_enters += (after.region_enters - before.region_enters) * copies
+        stats.scenario_hits += (after.scenario_hits - before.scenario_hits) * copies
+        stats.frequency_switches += (
+            after.frequency_switches - before.frequency_switches
+        ) * copies
+        stats.thread_switches += (
+            after.thread_switches - before.thread_switches
+        ) * copies
+        for name, count in after.applied.items():
+            delta = count - before.applied.get(name, 0)
+            if delta:
+                stats.applied[name] = stats.applied.get(name, 0) + delta * copies
+
+    def _absorb_stats(self, delta: RRLStatistics) -> None:
+        """Accumulate one compiled run's statistics into this instance."""
+        self._extrapolate_stats(RRLStatistics(), delta, 1)
+
     # ----------------------------------------------------------------------
     def _apply(self, configuration: OperatingPoint, node: ComputeNode) -> None:
         switched = False
@@ -97,3 +191,58 @@ class StaticController:
 
     def on_region_exit(self, region: Region, iteration: int, node: ComputeNode) -> None:
         return None
+
+    # -- ScheduleCompiler interface ----------------------------------------
+    def compile_schedule(
+        self, app, node: ComputeNode, *, threads: int, instrumented: bool,
+        instrumentation,
+    ):
+        """One apply at run start, iteration-independent afterwards.
+
+        Compiles are cached per static configuration (a bounded pool —
+        oldest configurations evicted), keyed like the RRL's on app,
+        node physics, entry state and whether the one-shot apply
+        already happened.
+        """
+        from repro.execution.controlled_replay import (
+            CompiledControl,
+            compile_or_reuse,
+            compile_schedule_by_walk,
+            schedule_cache_key,
+        )
+
+        def build() -> CompiledControl:
+            probe = StaticController(self.configuration)
+            probe._applied = self._applied
+            schedule = compile_schedule_by_walk(
+                probe, app, node,
+                threads=threads,
+                instrumented=instrumented,
+                instrumentation=instrumentation,
+                state_key=lambda: probe._applied,
+            )
+            return CompiledControl(
+                schedule=schedule,
+                controller_state=probe._applied,
+                stats=None,
+                final_core_ghz=node.core_freq_ghz,
+                final_uncore_ghz=node.uncore_freq_ghz,
+            )
+
+        key = schedule_cache_key(
+            node,
+            threads=threads,
+            instrumented=instrumented,
+            instrumentation=instrumentation,
+        ) + (self._applied,)
+        compiled = compile_or_reuse(
+            _STATIC_SCHEDULE_CACHES.for_value(self.configuration),
+            app, node, key, build,
+        )
+        self._applied = compiled.controller_state
+        return compiled.schedule
+
+
+#: Compiled-schedule caches of the static controller, per configuration
+#: (bounded; see ScheduleCachePool).
+_STATIC_SCHEDULE_CACHES = ScheduleCachePool()

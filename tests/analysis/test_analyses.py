@@ -134,6 +134,60 @@ class TestSavings:
         text = reporting.render_savings([lulesh_savings])
         assert "Lulesh" in text and "average" in text
 
+    def test_engines_and_campaign_bit_identical(self, cluster):
+        """The row is engine-independent, and the campaign-backed path
+        reproduces the in-process loop exactly."""
+        from repro.campaign.engine import CampaignEngine
+
+        tmm = TuningModel.from_best_configs(
+            "Lulesh", "phase",
+            {
+                "phase": OperatingPoint(2.5, 2.1, 24),
+                "CalcKinematicsForElems": OperatingPoint(2.4, 2.0, 24),
+                "CalcQForElems": OperatingPoint(2.5, 2.0, 24),
+            },
+        )
+        static = OperatingPoint(2.4, 2.0, 24)
+        rows = {
+            engine: compare_static_dynamic(
+                "Lulesh", static, tmm, cluster=cluster, runs=2, engine=engine
+            )
+            for engine in ("auto", "recursive", "replay")
+        }
+        assert rows["auto"] == rows["recursive"] == rows["replay"]
+        via_campaign = compare_static_dynamic(
+            "Lulesh", static, tmm, cluster=cluster, runs=2,
+            campaign=CampaignEngine(max_workers=0),
+        )
+        assert via_campaign == rows["auto"]
+
+    def test_unknown_engine_rejected(self, cluster):
+        from repro.errors import CampaignError
+
+        with pytest.raises(CampaignError, match="unknown engine"):
+            compare_static_dynamic(
+                "Lulesh", OperatingPoint(2.4, 1.6, 24),
+                TuningModel.from_best_configs(
+                    "Lulesh", "phase", {"phase": OperatingPoint(2.4, 1.6, 24)}
+                ),
+                cluster=cluster, runs=1, engine="warp",
+            )
+
+    def test_campaign_topology_mismatch_rejected(self, cluster):
+        from repro.campaign.engine import CampaignEngine
+        from repro.errors import CampaignError
+        from repro.hardware.topology import NodeTopology
+
+        with pytest.raises(CampaignError, match="topology"):
+            compare_static_dynamic(
+                "Lulesh", OperatingPoint(2.4, 1.6, 24),
+                TuningModel.from_best_configs(
+                    "Lulesh", "phase", {"phase": OperatingPoint(2.4, 1.6, 24)}
+                ),
+                cluster=cluster, runs=1,
+                campaign=CampaignEngine(topology=NodeTopology.build(1, 8)),
+            )
+
 
 class TestTuningTime:
     def test_exhaustive_dwarfs_model_based(self, cluster):

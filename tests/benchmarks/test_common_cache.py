@@ -100,3 +100,72 @@ def test_old_schema_cache_entry_surfaces_clear_error(harness_cache):
             runs=1,
             engine=common.campaign_engine(),
         )
+
+
+def test_pre_v2_store_re_simulates_silently(harness_cache):
+    """A genuine pre-STORE_VERSION-2 store (records without a
+    ``store_version`` field, keys hashed under the old version) must be
+    treated as a cold cache: the artefact build re-simulates and
+    persists current-schema results next to the dead records, which stay
+    counted as stale — never a crash, never a stale payload served."""
+    import hashlib
+    import json
+
+    from repro.campaign.plan import CampaignJob
+
+    job = CampaignJob(app="EP", mode="sweep", threads=24)
+
+    def v1_key(descriptor):
+        payload = json.dumps({"store_version": 1, **descriptor}, sort_keys=True)
+        return hashlib.blake2b(payload.encode(), digest_size=16).hexdigest()
+
+    record = {
+        "key": v1_key(job.descriptor()),
+        "job": job.descriptor(),
+        "result": {"node_energy_j": 1.0, "cpu_energy_j": 1.0, "time_s": 1.0},
+    }
+    (harness_cache / "campaign-store.jsonl").write_text(json.dumps(record) + "\n")
+    common.campaign_engine.cache_clear()
+    engine = common.campaign_engine()
+    assert engine.store.stale_records == 1
+    artefact = small_artefact()
+    assert artefact.features.shape[0] > 0
+    assert engine.total_executed == 34  # everything re-simulated
+    assert engine.total_cached == 0
+
+
+def test_stale_model_cache_entry_surfaces_campaign_error(harness_cache):
+    """A recalled trained-model record whose payload predates the
+    current parameter layout must surface the documented CampaignError
+    naming the store file — historically this crashed mid-benchmark
+    with a raw KeyError inside the network rebuild."""
+    import json
+
+    import numpy as np
+    import pytest
+
+    from repro.campaign.store import STORE_VERSION, job_key
+    from repro.errors import CampaignError
+    from repro.modeling.model_cache import (
+        dataset_digest,
+        train_network_cached,
+        training_descriptor,
+    )
+    from repro.modeling.training import TrainingConfig
+
+    rng = np.random.default_rng(0)
+    features, targets = rng.normal(size=(40, 5)), rng.normal(size=40)
+    config = TrainingConfig(epochs=1, seed=0)
+    descriptor = training_descriptor(dataset_digest(features, targets), config)
+    record = {
+        "key": job_key(descriptor),
+        "store_version": STORE_VERSION,
+        "job": descriptor,
+        # Top-level keys present, but the inner network layout is old.
+        "result": {"network": {"legacy_weights": []}, "scaler": {}, "losses": []},
+    }
+    (harness_cache / "campaign-store.jsonl").write_text(json.dumps(record) + "\n")
+    common.campaign_engine.cache_clear()
+    store = common.campaign_engine().store
+    with pytest.raises(CampaignError, match="older store schema"):
+        train_network_cached(features, targets, config=config, store=store)

@@ -31,6 +31,13 @@ def tuning_report(speedup: float, identical: bool = True) -> dict:
     }
 
 
+def savings_report(speedup: float, identical: bool = True) -> dict:
+    return {
+        "benchmark": "table6_savings",
+        "aggregate": {"speedup": speedup, "engines_identical": identical},
+    }
+
+
 class TestGate:
     def test_passes_when_equal(self, tmp_path):
         current = write(tmp_path / "a.json", sim_report(12.0))
@@ -58,6 +65,21 @@ class TestGate:
         current = write(tmp_path / "a.json", tuning_report(9.0, identical=False))
         baseline = write(tmp_path / "b.json", tuning_report(8.7))
         assert gate.main([str(current), str(baseline)]) == 1
+
+    def test_fails_on_savings_sweep_slowdown(self, tmp_path):
+        current = write(tmp_path / "a.json", savings_report(2.5))
+        baseline = write(tmp_path / "b.json", savings_report(5.7))
+        assert gate.main([str(current), str(baseline)]) == 1
+
+    def test_fails_when_savings_engines_diverge(self, tmp_path):
+        current = write(tmp_path / "a.json", savings_report(6.0, identical=False))
+        baseline = write(tmp_path / "b.json", savings_report(5.7))
+        assert gate.main([str(current), str(baseline)]) == 1
+
+    def test_passes_on_healthy_savings_report(self, tmp_path):
+        current = write(tmp_path / "a.json", savings_report(5.0))
+        baseline = write(tmp_path / "b.json", savings_report(5.7))
+        assert gate.main([str(current), str(baseline)]) == 0
 
     def test_max_drop_flag(self, tmp_path):
         current = write(tmp_path / "a.json", sim_report(9.0))
@@ -96,7 +118,16 @@ class TestCommittedBaselines:
         assert report["model_evaluation"]["speedup"] >= 5
         assert report["model_evaluation"]["selections_identical"] is True
 
+    def test_dynamic_replay_baseline(self):
+        report = json.loads((self.BASELINES / "dynamic-replay.json").read_text())
+        assert report["benchmark"] == "table6_savings"
+        # The controlled-replay acceptance: >= 5x on the Table VI sweep.
+        assert report["aggregate"]["speedup"] >= 5
+        assert report["aggregate"]["engines_identical"] is True
+
     def test_gate_passes_against_itself(self, capsys):
-        for name in ("sim-throughput.json", "tuning-time.json"):
+        for name in (
+            "sim-throughput.json", "tuning-time.json", "dynamic-replay.json"
+        ):
             path = self.BASELINES / name
             assert gate.main([str(path), str(path)]) == 0

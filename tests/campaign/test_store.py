@@ -114,6 +114,30 @@ class TestResultStore:
         assert store.summary()["stale"] == 1
         assert store.get(job_key(job.descriptor())) is None  # silent miss
 
+    def test_put_heals_stale_record(self, tmp_path, job):
+        """Re-putting a key held by another schema version's record must
+        replace it — the historical no-op silently dropped the freshly
+        computed result and left the store poisoned forever."""
+        path = tmp_path / "store.jsonl"
+        key = job_key(job.descriptor())
+        stale = {
+            "key": key,
+            "store_version": STORE_VERSION - 1,
+            "job": job.descriptor(),
+            "result": {"legacy_layout": 1.0},
+        }
+        path.write_text(json.dumps(stale) + "\n")
+        store = ResultStore(path)
+        assert store.stale_records == 1
+        store.put(key, job.descriptor(), {"time_s": 2.0})
+        assert store.get(key) == {"time_s": 2.0}
+        assert store.stale_records == 0
+        store.close()
+        # The healed record survives a reload (append + last-wins).
+        reloaded = ResultStore(path)
+        assert reloaded.get(key) == {"time_s": 2.0}
+        assert reloaded.stale_records == 0
+
     def test_records_written_with_current_version(self, tmp_path, job):
         path = tmp_path / "store.jsonl"
         key = job_key(job.descriptor())

@@ -5,7 +5,25 @@ Paper: trend toward high core frequency and low uncore frequency
 many configurations within 2% of the optimum.  Expected shape: best in
 the high-CF/low-UCF corner region, plugin pick close to (within a few
 percent of) the optimum.
+
+Standalone, the module benchmarks the full-grid measurement through
+both heatmap engines (``--engine {loop,sweep}``), asserts their
+bit-equality and reports the sweep-replay speedup::
+
+    python benchmarks/bench_fig6_lulesh_heatmap.py --engine sweep \
+        --apps Lulesh Mcb --json grid-sweep.json
+
+The two-figure JSON feeds the CI perf-regression gate
+(``benchmarks/baselines/grid-sweep.json``).
 """
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):  # script execution: make `benchmarks` importable
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
 from benchmarks._common import cluster, tuned_outcome
 from repro.analysis.heatmap import energy_heatmap
@@ -42,3 +60,15 @@ def test_fig6_lulesh_heatmap(benchmark):
     assert sel_value <= heatmap.best_value * 1.05
     # A sizeable near-optimal plateau exists (the pink cells of Fig. 6).
     assert len(heatmap.plateau()) >= 5
+
+
+def main(argv=None) -> int:
+    from benchmarks._grid_sweep import main as grid_sweep_main
+
+    return grid_sweep_main(
+        argv, default_apps=("Lulesh",), description=__doc__.splitlines()[0]
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

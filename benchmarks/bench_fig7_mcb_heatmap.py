@@ -4,7 +4,21 @@ Paper: trend toward high uncore frequency and low core frequency
 (memory bound, needs bandwidth); true best 1.6|2.5 GHz at 20 threads,
 plugin selection 1.6|2.3 GHz.  Expected shape: best in the
 low-CF/high-UCF corner region, opposite of Lulesh.
+
+Standalone, the module benchmarks the Mcb full-grid measurement through
+both heatmap engines (``--engine {loop,sweep}``) with a built-in
+bit-equality assertion — see ``benchmarks/_grid_sweep.py``::
+
+    python benchmarks/bench_fig7_mcb_heatmap.py --engine sweep
 """
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):  # script execution: make `benchmarks` importable
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
 from benchmarks._common import cluster, tuned_outcome
 from repro.analysis.heatmap import energy_heatmap
@@ -38,3 +52,15 @@ def test_fig7_mcb_heatmap(benchmark):
     assert best_ucf >= 2.2
     sel_value = heatmap.value_at(*heatmap.selected)
     assert sel_value <= heatmap.best_value * 1.05
+
+
+def main(argv=None) -> int:
+    from benchmarks._grid_sweep import main as grid_sweep_main
+
+    return grid_sweep_main(
+        argv, default_apps=("Mcb",), description=__doc__.splitlines()[0]
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,6 +34,7 @@ GATED_METRICS: dict[str, tuple[str, ...]] = {
     "tuning_time": ("model_evaluation.speedup",),
     "loocv_mape": (),
     "table6_savings": ("aggregate.speedup",),
+    "grid_sweep": ("aggregate.speedup",),
 }
 
 #: Dotted paths of boolean flags that must be true, per report kind.
@@ -42,6 +43,7 @@ REQUIRED_FLAGS: dict[str, tuple[str, ...]] = {
     "tuning_time": ("model_evaluation.selections_identical",),
     "loocv_mape": ("mape_identical",),
     "table6_savings": ("aggregate.engines_identical",),
+    "grid_sweep": ("aggregate.engines_identical",),
 }
 
 

@@ -4,6 +4,15 @@ The figures show, for one benchmark at its optimal thread count, the
 measured normalized node energy of every frequency combination, with the
 true optimum, the plugin-selected configuration and the set of
 configurations within 2% of the optimum highlighted.
+
+Measuring the 14 x 18 grid is the textbook workload of the simulator's
+**sweep-replay engine** (:mod:`repro.execution.sweep_replay`): the
+default ``engine="sweep"`` replays all 252 configurations in one pass,
+bit-identical to (and several times faster than) the historical
+``engine="loop"`` that builds a fresh node and runs one configuration at
+a time.  Passing a :class:`~repro.campaign.engine.CampaignEngine` routes
+the sweep through ``grid``-mode campaign jobs instead, making grid rows
+cacheable, parallelisable units in the result store.
 """
 
 from __future__ import annotations
@@ -13,12 +22,19 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import config
-from repro.execution.simulator import ExecutionSimulator
+from repro.errors import CampaignError
+from repro.execution.simulator import ExecutionSimulator, OperatingPoint
+from repro.execution.sweep_replay import sweep_run
 from repro.hardware.cluster import Cluster
+from repro.util.validation import frequency_index
 from repro.workloads import registry
 
 #: The paper highlights configurations within 2% of the minimum in pink.
 PLATEAU_THRESHOLD = 0.02
+
+#: Grid-measurement engines: the one-pass sweep replay and the
+#: historical one-configuration-at-a-time reference loop.
+ENGINES = ("sweep", "loop")
 
 
 @dataclass
@@ -43,19 +59,20 @@ class EnergyHeatmap:
         return float(self.normalized.min())
 
     def value_at(self, cf: float, ucf: float) -> float:
-        i = self.core_frequencies.index(cf)
-        j = self.uncore_frequencies.index(ucf)
+        i = frequency_index(self.core_frequencies, cf, axis="core-frequency")
+        j = frequency_index(self.uncore_frequencies, ucf, axis="uncore-frequency")
         return float(self.normalized[i, j])
 
     def plateau(self, threshold: float = PLATEAU_THRESHOLD) -> list[tuple[float, float]]:
         """Configurations within ``threshold`` of the optimum (pink)."""
         limit = self.best_value * (1.0 + threshold)
-        out = []
-        for i, cf in enumerate(self.core_frequencies):
-            for j, ucf in enumerate(self.uncore_frequencies):
-                if self.normalized[i, j] <= limit:
-                    out.append((cf, ucf))
-        return out
+        # np.nonzero scans in row-major order, preserving the
+        # (CF-major, UCF-minor) order of the historical nested loop.
+        rows, cols = np.nonzero(self.normalized <= limit)
+        return [
+            (self.core_frequencies[i], self.uncore_frequencies[j])
+            for i, j in zip(rows.tolist(), cols.tolist())
+        ]
 
     def selected_within_plateau(self, threshold: float = PLATEAU_THRESHOLD) -> bool:
         """Whether the plugin's pick lands in the near-optimal plateau."""
@@ -64,17 +81,10 @@ class EnergyHeatmap:
         return self.selected in set(self.plateau(threshold))
 
 
-def energy_heatmap(
-    benchmark: str,
-    *,
-    threads: int,
-    cluster: Cluster | None = None,
-    node_id: int = 0,
-    selected: tuple[float, float] | None = None,
-    seed: int = config.DEFAULT_SEED,
-) -> EnergyHeatmap:
-    """Measure the full grid for one benchmark at a fixed thread count."""
-    cluster = cluster or Cluster(2, seed=seed)
+def _measure_loop(
+    benchmark: str, threads: int, cluster: Cluster, node_id: int, seed: int
+) -> np.ndarray:
+    """Reference grid measurement: one fresh node and run per cell."""
     cfs = config.CORE_FREQUENCIES_GHZ
     ucfs = config.UNCORE_FREQUENCIES_GHZ
     energies = np.empty((len(cfs), len(ucfs)))
@@ -88,9 +98,111 @@ def energy_heatmap(
                 run_key=("heatmap", cf, ucf),
             )
             energies[i, j] = run.node_energy_j
+    return energies
+
+
+def _measure_sweep(
+    benchmark: str, threads: int, cluster: Cluster, node_id: int, seed: int
+) -> np.ndarray:
+    """One-pass grid measurement through the sweep-replay engine."""
+    cfs = config.CORE_FREQUENCIES_GHZ
+    ucfs = config.UNCORE_FREQUENCIES_GHZ
+    points = [OperatingPoint(cf, ucf, threads) for cf in cfs for ucf in ucfs]
+    sweep = sweep_run(
+        registry.build(benchmark),
+        points,
+        run_keys=[
+            ("heatmap", p.core_freq_ghz, p.uncore_freq_ghz) for p in points
+        ],
+        node_id=node_id,
+        seed=seed,
+        node_seed=cluster.seed,
+        topology=cluster.topology,
+    )
+    return np.array([r.node_energy_j for r in sweep.results]).reshape(
+        len(cfs), len(ucfs)
+    )
+
+
+def _measure_campaign(
+    benchmark: str,
+    threads: int,
+    cluster: Cluster,
+    node_id: int,
+    seed: int,
+    campaign,
+) -> np.ndarray:
+    """Grid measurement as cacheable per-row campaign jobs."""
+    from repro.campaign.engine import run_app_jobs
+    from repro.campaign.plan import grid_jobs
+
+    if campaign.topology != cluster.topology:
+        raise CampaignError(
+            f"campaign engine topology {campaign.topology!r} does not "
+            f"match the cluster's {cluster.topology!r}"
+        )
+    cfs = config.CORE_FREQUENCIES_GHZ
+    ucfs = config.UNCORE_FREQUENCIES_GHZ
+    jobs = grid_jobs(
+        benchmark,
+        label="heatmap",
+        points=[OperatingPoint(cf, ucf, threads) for cf in cfs for ucf in ucfs],
+        node_id=node_id,
+        seed=seed,
+        node_seed=cluster.seed,
+    )
+    results = run_app_jobs(
+        jobs, registry.build(benchmark), cluster=cluster, engine=campaign
+    )
+    return np.array([results[job]["node_energy_j"] for job in jobs]).reshape(
+        len(cfs), len(ucfs)
+    )
+
+
+def energy_heatmap(
+    benchmark: str,
+    *,
+    threads: int,
+    cluster: Cluster | None = None,
+    node_id: int = 0,
+    selected: tuple[float, float] | None = None,
+    seed: int = config.DEFAULT_SEED,
+    engine: str = "sweep",
+    campaign=None,
+) -> EnergyHeatmap:
+    """Measure the full grid for one benchmark at a fixed thread count.
+
+    ``engine`` selects the grid measurement path (``"sweep"`` one-pass
+    replay, ``"loop"`` per-cell reference); both are bit-identical.  A
+    ``campaign`` engine (implies ``"sweep"`` physics) executes the grid
+    as per-row jobs with store caching and worker parallelism.
+    """
+    if engine not in ENGINES:
+        raise CampaignError(f"unknown heatmap engine: {engine!r}; known: {ENGINES}")
+    if campaign is not None and engine != "sweep":
+        raise CampaignError(
+            "campaign-backed heatmaps measure through the sweep engine; "
+            f"drop campaign= or use engine='sweep', not {engine!r}"
+        )
+    cluster = cluster or Cluster(2, seed=seed)
+    cluster.check_node_id(node_id)
+    cfs = config.CORE_FREQUENCIES_GHZ
+    ucfs = config.UNCORE_FREQUENCIES_GHZ
+    if campaign is not None:
+        energies = _measure_campaign(
+            benchmark, threads, cluster, node_id, seed, campaign
+        )
+    elif engine == "sweep":
+        energies = _measure_sweep(benchmark, threads, cluster, node_id, seed)
+    else:
+        energies = _measure_loop(benchmark, threads, cluster, node_id, seed)
     cal = energies[
-        cfs.index(config.CALIBRATION_CORE_FREQ_GHZ),
-        ucfs.index(config.CALIBRATION_UNCORE_FREQ_GHZ),
+        frequency_index(
+            cfs, config.CALIBRATION_CORE_FREQ_GHZ, axis="core-frequency"
+        ),
+        frequency_index(
+            ucfs, config.CALIBRATION_UNCORE_FREQ_GHZ, axis="uncore-frequency"
+        ),
     ]
     return EnergyHeatmap(
         benchmark=benchmark,

@@ -4,6 +4,12 @@ Sweeps configurations and reports (time, energy) pairs so the
 trade-off frontier can be examined: static tuning may buy energy at no
 time cost for compute-bound codes, while aggressive core-frequency
 reduction trades time for energy on memory-bound codes.
+
+The configuration sweep is a static grid, so it runs through the
+simulator's sweep-replay engine by default
+(:mod:`repro.execution.sweep_replay`, ``engine="sweep"``); the
+historical per-configuration loop remains as the bit-identical
+``engine="loop"`` reference.
 """
 
 from __future__ import annotations
@@ -11,7 +17,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro import config
+from repro.errors import CampaignError
 from repro.execution.simulator import ExecutionSimulator, OperatingPoint
+from repro.execution.sweep_replay import sweep_run
 from repro.hardware.cluster import Cluster
 from repro.workloads import registry
 
@@ -36,23 +44,47 @@ def energy_time_tradeoff(
     cluster: Cluster | None = None,
     node_id: int = 0,
     seed: int = config.DEFAULT_SEED,
+    engine: str = "sweep",
 ) -> list[TradeoffPoint]:
-    """Evaluate configurations relative to the platform default."""
+    """Evaluate configurations relative to the platform default.
+
+    ``engine="sweep"`` (default) replays the whole configuration set in
+    one pass; ``"loop"`` runs the per-configuration reference.  Both
+    return bit-identical points.
+    """
     cluster = cluster or Cluster(2, seed=seed)
+    cluster.check_node_id(node_id)
     default_point = OperatingPoint()
     points = list(configurations)
     if default_point not in points:
         points.insert(0, default_point)
     outcomes: dict[OperatingPoint, tuple[float, float]] = {}
-    for point in points:
-        node = cluster.fresh_node(node_id)
-        node.set_frequencies(point.core_freq_ghz, point.uncore_freq_ghz)
-        run = ExecutionSimulator(node, seed=seed).run(
+    if engine == "sweep":
+        sweep = sweep_run(
             registry.build(benchmark),
-            threads=point.threads,
-            run_key=("tradeoff", str(point)),
+            points,
+            run_keys=[("tradeoff", str(p)) for p in points],
+            node_id=node_id,
+            seed=seed,
+            node_seed=cluster.seed,
+            topology=cluster.topology,
         )
-        outcomes[point] = (run.time_s, run.node_energy_j)
+        for point, run in zip(points, sweep.results):
+            outcomes[point] = (run.time_s, run.node_energy_j)
+    elif engine == "loop":
+        for point in points:
+            node = cluster.fresh_node(node_id)
+            node.set_frequencies(point.core_freq_ghz, point.uncore_freq_ghz)
+            run = ExecutionSimulator(node, seed=seed).run(
+                registry.build(benchmark),
+                threads=point.threads,
+                run_key=("tradeoff", str(point)),
+            )
+            outcomes[point] = (run.time_s, run.node_energy_j)
+    else:
+        raise CampaignError(
+            f"unknown tradeoff engine: {engine!r}; known: ('sweep', 'loop')"
+        )
     t0, e0 = outcomes[default_point]
     return [
         TradeoffPoint(

@@ -20,6 +20,11 @@ Payload layout by mode:
     the phase region's instances of one run.
 ``sweep`` / ``static``
     ``{"node_energy_j": J, "cpu_energy_j": J, "time_s": s}``.
+``grid``
+    The same three quantities as parallel lists over the row's UCF axis
+    (plus ``"uncore_freqs_ghz"`` itself), measured in one pass through
+    the sweep-replay engine (:mod:`repro.execution.sweep_replay`) —
+    per cell bit-identical to the equivalent ``static`` job.
 ``savings``
     The energy triple plus ``switching_time_s`` and
     ``instrumentation_time_s`` — the controlled production runs of the
@@ -71,6 +76,7 @@ REQUIRED_PAYLOAD_KEYS: dict[str, tuple[str, ...]] = {
         "switching_time_s",
         "instrumentation_time_s",
     ),
+    "grid": ("uncore_freqs_ghz", "node_energy_j", "cpu_energy_j", "time_s"),
 }
 
 
@@ -186,6 +192,33 @@ def execute_job(
     """
     if app is None:
         app = registry.build(job.app)
+    if job.mode == "grid":
+        # One grid row through the sweep-replay engine: every cell is
+        # bit-identical to a fresh-node run at that configuration, so
+        # the row payload agrees with per-cell ``static``-style jobs.
+        from repro.execution.simulator import OperatingPoint
+        from repro.execution.sweep_replay import sweep_run
+
+        threads = job.threads if job.threads is not None else app.default_threads
+        points = [
+            OperatingPoint(job.core_freq_ghz, ucf, threads)
+            for ucf in job.uncore_freqs_ghz
+        ]
+        sweep = sweep_run(
+            app,
+            points,
+            run_keys=job.cell_run_keys(),
+            node_id=job.node_id,
+            seed=job.seed,
+            node_seed=job.node_seed,
+            topology=topology,
+        )
+        return {
+            "uncore_freqs_ghz": list(job.uncore_freqs_ghz),
+            "node_energy_j": [r.node_energy_j for r in sweep.results],
+            "cpu_energy_j": [r.cpu_energy_j for r in sweep.results],
+            "time_s": [r.time_s for r in sweep.results],
+        }
     node = ComputeNode(job.node_id, seed=job.node_seed, topology=topology)
     if job.mode == "savings":
         # Controlled production run: the node starts at the platform

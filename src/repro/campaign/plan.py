@@ -22,6 +22,17 @@ expand benchmark lists into the paper's grids:
     simulator's controlled-replay fast path
     (:mod:`repro.execution.controlled_replay`).
 
+``grid``
+    One **row** of a static frequency grid — a fixed (threads, CF) at
+    an explicit tuple of UCFs — executed in a single pass through the
+    simulator's sweep-replay engine
+    (:mod:`repro.execution.sweep_replay`).  Rows are the cacheable,
+    parallelisable unit of full-grid measurements (the Figures 6/7
+    heatmaps, the Table V exhaustive search); their per-cell noise keys
+    (``label``-selected, see :func:`grid_run_key`) match the historical
+    one-job-per-cell paths, so the measured numbers are bit-identical —
+    only the store addressing is coarser.
+
 ``sweep`` and ``static`` differ only in the label mixed into the noise
 streams; both labels are kept so campaign results stay bit-identical to
 the pre-campaign serial code paths.  ``savings`` jobs carry their label
@@ -41,10 +52,28 @@ from repro.workloads import registry
 from repro.workloads.application import Application
 
 #: The instrumentation/measurement modes a job can run under.
-MODES: tuple[str, ...] = ("counters", "sweep", "static", "savings")
+MODES: tuple[str, ...] = ("counters", "sweep", "static", "savings", "grid")
 
 #: Controller kinds a ``savings`` job can attach.
 CONTROLLERS: tuple[str, ...] = ("none", "static", "rrl")
+
+#: Run-key layouts a ``grid`` job's cells may use.  Each reproduces one
+#: historical per-cell noise key verbatim, so grid-row payloads agree
+#: bit-for-bit with the loops they replace.
+GRID_RUN_KEY_LABELS: tuple[str, ...] = ("static", "heatmap")
+
+
+def grid_run_key(
+    label: str, *, core_freq_ghz: float, uncore_freq_ghz: float, threads: int | None
+) -> tuple:
+    """The per-cell noise-stream key of one grid-row entry."""
+    if label == "heatmap":
+        return ("heatmap", core_freq_ghz, uncore_freq_ghz)
+    if label == "static":
+        return ("static", core_freq_ghz, uncore_freq_ghz, threads)
+    raise CampaignError(
+        f"unknown grid run-key label: {label!r}; known: {GRID_RUN_KEY_LABELS}"
+    )
 
 #: Runs averaged for one counter measurement (PMU multiplexing).
 COUNTER_MEASUREMENT_RUNS = 3
@@ -78,6 +107,9 @@ class CampaignJob:
     tuning_model: str | None = None
     filtered_regions: tuple[str, ...] | None = None
     instrumented: bool = False
+    #: ``grid``-mode extra: the row's UCF axis (``core_freq_ghz`` and
+    #: ``threads`` are the fixed coordinates of the row).
+    uncore_freqs_ghz: tuple[float, ...] = ()
 
     def __post_init__(self):
         if self.mode not in MODES:
@@ -86,6 +118,14 @@ class CampaignJob:
             )
         if self.mode == "counters" and not self.counters:
             raise CampaignError("counters mode requires a counter set")
+        if self.mode == "grid":
+            if not self.uncore_freqs_ghz:
+                raise CampaignError("grid mode requires a non-empty UCF row")
+            if self.label not in GRID_RUN_KEY_LABELS:
+                raise CampaignError(
+                    f"unknown grid run-key label: {self.label!r}; "
+                    f"known: {GRID_RUN_KEY_LABELS}"
+                )
         if self.mode == "savings":
             if not self.label:
                 raise CampaignError("savings mode requires a run-key label")
@@ -101,6 +141,10 @@ class CampaignJob:
 
     def run_key(self) -> tuple:
         """The simulator noise-stream label (mirrors the serial paths)."""
+        if self.mode == "grid":
+            raise CampaignError(
+                "grid jobs carry one noise key per cell; use cell_run_keys()"
+            )
         if self.mode == "counters":
             return ("counters", self.threads, self.repetition)
         if self.mode == "sweep":
@@ -108,6 +152,20 @@ class CampaignJob:
         if self.mode == "savings":
             return (self.label, self.repetition)
         return ("static", self.core_freq_ghz, self.uncore_freq_ghz, self.threads)
+
+    def cell_run_keys(self) -> tuple[tuple, ...]:
+        """Per-cell noise keys of a ``grid`` job, in UCF order."""
+        if self.mode != "grid":
+            raise CampaignError("cell_run_keys applies to grid jobs only")
+        return tuple(
+            grid_run_key(
+                self.label,
+                core_freq_ghz=self.core_freq_ghz,
+                uncore_freq_ghz=ucf,
+                threads=self.threads,
+            )
+            for ucf in self.uncore_freqs_ghz
+        )
 
     def descriptor(self) -> dict[str, Any]:
         """JSON-able canonical form, hashed into the store key."""
@@ -123,6 +181,13 @@ class CampaignJob:
             "repetition": self.repetition,
             "counters": list(self.counters),
         }
+        if self.mode == "grid":
+            descriptor.update(
+                {
+                    "label": self.label,
+                    "uncore_freqs_ghz": list(self.uncore_freqs_ghz),
+                }
+            )
         if self.mode == "savings":
             descriptor.update(
                 {
@@ -323,6 +388,47 @@ def static_jobs(
             node_seed=seed if node_seed is None else node_seed,
         )
         for p in points
+    )
+
+
+def grid_rows(
+    points: list[OperatingPoint],
+) -> list[tuple[int | None, float, tuple[float, ...]]]:
+    """Group grid points into ``(threads, CF, UCF row)`` triples.
+
+    Order-preserving: rows appear at their first point's position and
+    each row's UCFs keep their sweep order, so flattening the rows
+    visits the points exactly as the one-cell-at-a-time loops did.
+    """
+    rows: dict[tuple, list[float]] = {}
+    for p in points:
+        rows.setdefault((p.threads, p.core_freq_ghz), []).append(p.uncore_freq_ghz)
+    return [(t, cf, tuple(ucfs)) for (t, cf), ucfs in rows.items()]
+
+
+def grid_jobs(
+    app_name: str,
+    *,
+    label: str,
+    points: list[OperatingPoint],
+    node_id: int = 0,
+    seed: int = config.DEFAULT_SEED,
+    node_seed: int | None = None,
+) -> tuple[CampaignJob, ...]:
+    """One sweep-replay row job per (threads, CF) of a static grid."""
+    return tuple(
+        CampaignJob(
+            app=app_name,
+            mode="grid",
+            core_freq_ghz=cf,
+            threads=threads,
+            node_id=node_id,
+            seed=seed,
+            node_seed=seed if node_seed is None else node_seed,
+            label=label,
+            uncore_freqs_ghz=ucfs,
+        )
+        for threads, cf, ucfs in grid_rows(points)
     )
 
 

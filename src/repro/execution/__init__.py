@@ -15,6 +15,7 @@ from repro.execution.simulator import (
     ScheduleCompiler,
 )
 from repro.execution.controlled_replay import ControlSchedule, ScheduleCache
+from repro.execution.sweep_replay import MeterEndState, SweepReplay, meter_end_state, sweep_run
 from repro.execution.job import JobRecord, JobStep
 from repro.execution.slurm import SlurmAccounting
 
@@ -30,6 +31,10 @@ __all__ = [
     "ScheduleCompiler",
     "ControlSchedule",
     "ScheduleCache",
+    "MeterEndState",
+    "SweepReplay",
+    "meter_end_state",
+    "sweep_run",
     "JobRecord",
     "JobStep",
     "SlurmAccounting",

@@ -250,16 +250,11 @@ class _ReplayState:
 
 def _replay(sim, app: Application, schedule: _Schedule, run_key: tuple, result):
     """Execute the compiled schedule in bulk, filling ``result``."""
-    from repro.execution.simulator import (
-        TIME_NOISE_SIGMA,
-        InstanceLog,
-        RegionInstance,
-    )
+    from repro.execution.simulator import TIME_NOISE_SIGMA, InstanceLog
 
     node = sim.node
     slots = schedule.slots
     iterations = app.phase_iterations
-    num_slots = len(slots)
     num_charges = len(schedule.charges)
 
     start_time = node.now_s
@@ -330,76 +325,91 @@ def _replay(sim, app: Application, schedule: _Schedule, run_key: tuple, result):
     # derivation lives in the deferred producer; sweep-style runs that
     # read aggregate fields never pay for it.
     point = result.operating_point
-
-    def materialise() -> list:
-        enter, total_time = state.region_times()
-        body_time = state.body_times()
-
-        zeros = np.zeros(iterations)
-        body_energy: list = [None] * num_slots
-        for k, slot in enumerate(slots):
-            energy = None
-            if slot.has_work:
-                energy = slot.node_w * durations_work[slot.work_index]
-            if slot.probed:
-                probe_joules = (
-                    schedule.charge_node_w[
-                        slot.charge_start + (1 if slot.has_work else 0)
-                    ]
-                    * slot.probe_s
-                )
-                energy = (
-                    energy + probe_joules
-                    if energy is not None
-                    else np.full(iterations, probe_joules)
-                )
-            body_energy[k] = energy if energy is not None else zeros
-
-        # Inclusive energies: children accumulate in child order, own
-        # body first — the recursive engine's exact expression tree.
-        inclusive: list = [None] * num_slots
-        for k in range(num_slots - 1, -1, -1):
-            children_energy = None
-            for child in slots[k].children:
-                children_energy = (
-                    inclusive[child]
-                    if children_energy is None
-                    else children_energy + inclusive[child]
-                )
-            if children_energy is None:
-                children_energy = 0.0
-            inclusive[k] = body_energy[k] + children_energy
-
-        cpu_energy: list = [None] * num_slots
-        for k, slot in enumerate(slots):
-            if slot.has_work:
-                cpu_energy[k] = np.where(
-                    body_time[k] > 0, body_energy[k] * slot.cpu_fraction, 0.0
-                )
-            else:
-                cpu_energy[k] = zeros
-
-        rows = []
-        append = rows.append
-        for i in range(iterations):
-            for k in schedule.post_order:
-                slot = slots[k]
-                append(
-                    RegionInstance(
-                        region_name=slot.region.name,
-                        iteration=i,
-                        start_s=float(enter[i, k]),
-                        time_s=float(total_time[i, k]),
-                        node_energy_j=float(inclusive[k][i]),
-                        cpu_energy_j=float(cpu_energy[k][i]),
-                        operating_point=point,
-                        timing=slot.timing,
-                    )
-                )
-        return rows
-
-    result.instances = InstanceLog.deferred(materialise)
+    result.instances = InstanceLog.deferred(
+        lambda: materialise_instances(state, point)
+    )
     return state
+
+
+def materialise_instances(state: _ReplayState, point) -> list:
+    """Derive every :class:`RegionInstance` row of one replayed run.
+
+    Shared by the uncontrolled replay and the grid-sweep engine
+    (:mod:`repro.execution.sweep_replay`), which builds one
+    :class:`_ReplayState` per grid configuration on demand.
+    """
+    from repro.execution.simulator import RegionInstance
+
+    schedule = state.schedule
+    slots = schedule.slots
+    num_slots = len(slots)
+    iterations = state.iterations
+    durations_work = state.durations_work
+    enter, total_time = state.region_times()
+    body_time = state.body_times()
+
+    zeros = np.zeros(iterations)
+    body_energy: list = [None] * num_slots
+    for k, slot in enumerate(slots):
+        energy = None
+        if slot.has_work:
+            energy = slot.node_w * durations_work[slot.work_index]
+        if slot.probed:
+            probe_joules = (
+                schedule.charge_node_w[
+                    slot.charge_start + (1 if slot.has_work else 0)
+                ]
+                * slot.probe_s
+            )
+            energy = (
+                energy + probe_joules
+                if energy is not None
+                else np.full(iterations, probe_joules)
+            )
+        body_energy[k] = energy if energy is not None else zeros
+
+    # Inclusive energies: children accumulate in child order, own
+    # body first — the recursive engine's exact expression tree.
+    inclusive: list = [None] * num_slots
+    for k in range(num_slots - 1, -1, -1):
+        children_energy = None
+        for child in slots[k].children:
+            children_energy = (
+                inclusive[child]
+                if children_energy is None
+                else children_energy + inclusive[child]
+            )
+        if children_energy is None:
+            children_energy = 0.0
+        inclusive[k] = body_energy[k] + children_energy
+
+    cpu_energy: list = [None] * num_slots
+    for k, slot in enumerate(slots):
+        if slot.has_work:
+            cpu_energy[k] = np.where(
+                body_time[k] > 0, body_energy[k] * slot.cpu_fraction, 0.0
+            )
+        else:
+            cpu_energy[k] = zeros
+
+    rows = []
+    append = rows.append
+    for i in range(iterations):
+        for k in schedule.post_order:
+            slot = slots[k]
+            append(
+                RegionInstance(
+                    region_name=slot.region.name,
+                    iteration=i,
+                    start_s=float(enter[i, k]),
+                    time_s=float(total_time[i, k]),
+                    node_energy_j=float(inclusive[k][i]),
+                    cpu_energy_j=float(cpu_energy[k][i]),
+                    operating_point=point,
+                    timing=slot.timing,
+                )
+            )
+    return rows
 
 
 def replay_run(

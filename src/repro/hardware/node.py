@@ -167,6 +167,28 @@ class ComputeNode:
             acc.deposit_many(RaplDomain.PACKAGE, package_list)
             acc.deposit_many(RaplDomain.DRAM, dram_list)
 
+    def rapl_state(self) -> dict[str, tuple]:
+        """Raw RAPL counters and carried residuals, per domain and socket.
+
+        The observable end state of the node's energy accumulators:
+        ``{"package": ((raw, residual), ...), "dram": (...)}`` with one
+        ``(counter, residual)`` pair per socket.  The sweep-replay
+        engine (:mod:`repro.execution.sweep_replay`) reproduces this
+        state analytically per grid configuration; the equivalence
+        tests compare both sides through this accessor.
+        """
+        cores_per_socket = self.topology.sockets[0].num_cores
+        state: dict[str, tuple] = {}
+        for domain in (RaplDomain.PACKAGE, RaplDomain.DRAM):
+            pairs = []
+            for socket, acc in zip(self.topology.sockets, self._rapl_accumulators):
+                raw = self.msr.hw_get(
+                    socket.socket_id * cores_per_socket, domain.value
+                )
+                pairs.append((raw, acc.residual(domain)))
+            state[domain.name.lower()] = tuple(pairs)
+        return state
+
     def advance_idle(self, duration_s: float) -> None:
         """Advance time with no workload running."""
         self.advance(

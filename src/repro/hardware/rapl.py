@@ -51,6 +51,10 @@ class RaplAccumulator:
         old = self._regfile.hw_get(self._cpu, domain.value)
         self._regfile.hw_set(self._cpu, domain.value, (old + ticks) & _COUNTER_MASK)
 
+    def residual(self, domain: RaplDomain) -> float:
+        """Energy deposited but below one counter tick, carried forward."""
+        return self._residual[domain]
+
     def deposit_many(self, domain: RaplDomain, joules_seq) -> None:
         """Deposit a sequence of energies with one register update.
 

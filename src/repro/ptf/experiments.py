@@ -34,7 +34,17 @@ class RegionMeasurement:
 
 
 class _ScheduleController:
-    """Applies ``schedule[iteration]`` at each phase-region enter."""
+    """Applies ``schedule[iteration]`` at each phase-region enter.
+
+    Although its decisions depend on the iteration index, the schedule
+    is fully predeclared, so the controller opts into the simulator's
+    controlled-replay fast path: the compile walk visits every
+    iteration with a distinct schedule entry (the state key tracks the
+    upcoming entry), reaches a fixed point once the schedule's last
+    configuration repeats, and the replay prices the whole run in bulk
+    — bit-identical to the recursive engine, like every compiled
+    controller.
+    """
 
     def __init__(self, schedule: list[OperatingPoint], phase_name: str):
         if not schedule:
@@ -45,9 +55,11 @@ class _ScheduleController:
         self._uncore = UncoreFreqPlugin()
         self._openmp = OpenMPTPlugin()
         self._threads = schedule[0].threads
+        self._next_iteration = 0
 
     def on_region_enter(self, region: Region, iteration: int, node: ComputeNode) -> int:
         if region.name == self._phase_name:
+            self._next_iteration = iteration + 1
             point = self._schedule[min(iteration, len(self._schedule) - 1)]
             if node.core_freq_ghz != point.core_freq_ghz:
                 self._cpu.apply(node, point.core_freq_ghz)
@@ -58,6 +70,33 @@ class _ScheduleController:
 
     def on_region_exit(self, region: Region, iteration: int, node: ComputeNode) -> None:
         return None
+
+    def compile_schedule(
+        self, app, node: ComputeNode, *, threads: int, instrumented: bool,
+        instrumentation,
+    ):
+        """Compile the predeclared experiment schedule for bulk replay.
+
+        The fixed-point state key is the upcoming schedule entry
+        (clamped to the final one, which every remaining iteration
+        repeats) plus the thread count the last applied configuration
+        pinned.
+        """
+        from repro.execution.controlled_replay import compile_schedule_by_walk
+
+        last = len(self._schedule) - 1
+        return compile_schedule_by_walk(
+            self,
+            app,
+            node,
+            threads=threads,
+            instrumented=instrumented,
+            instrumentation=instrumentation,
+            state_key=lambda: (
+                min(self._next_iteration, last),
+                self._threads,
+            ),
+        )
 
 
 class ExperimentsEngine:

@@ -9,14 +9,17 @@ answer is enough (tests); the benchmarks run the full grid.
 The sweep executes through the :mod:`repro.campaign` engine: the full
 grid is submitted as one plan, fans out across the worker pool, and —
 when the engine carries a result store — warm re-runs select the best
-point without a single new simulation.  The winning point is selected
-with one vectorised objective evaluation over the whole grid, and
+point without a single new simulation.  With the default
+``measurement="grid"`` the plan consists of per-(threads, CF) **row
+jobs** that replay their whole UCF axis in one pass through the
+config-axis sweep engine (:mod:`repro.execution.sweep_replay`);
+``measurement="cell"`` submits the historical one-job-per-cell plan.
+Both measure bit-identical numbers — only store addressing differs, so
+switching re-keys the cache.  The winning point is selected with one
+vectorised objective evaluation over the whole grid, and
 :func:`select_static_configurations` offers the model-predicted
 counterpart: static configurations for a whole workload suite from one
-batched grid prediction, with zero sweep simulations.  Uncontrolled grid points are
-exactly what the simulator's vectorized replay fast path
-(:mod:`repro.execution.replay`) accelerates, so cold exhaustive sweeps
-run an order of magnitude faster with bit-identical results.
+batched grid prediction, with zero sweep simulations.
 """
 
 from __future__ import annotations
@@ -27,7 +30,7 @@ import numpy as np
 
 from repro import config
 from repro.campaign.engine import CampaignEngine, run_app_jobs
-from repro.campaign.plan import static_jobs, static_operating_points
+from repro.campaign.plan import grid_jobs, grid_rows, static_jobs, static_operating_points
 from repro.errors import TuningError
 from repro.execution.simulator import OperatingPoint
 from repro.hardware.cluster import Cluster
@@ -112,10 +115,21 @@ def exhaustive_static_search(
     stride: int = 1,
     thread_counts: tuple[int, ...] | None = None,
     engine: CampaignEngine | None = None,
+    measurement: str = "grid",
 ) -> StaticTuningResult:
-    """Run the full static sweep and return the best configuration."""
+    """Run the full static sweep and return the best configuration.
+
+    ``measurement`` selects how the grid is simulated: ``"grid"``
+    (default) replays each (threads, CF) row in one sweep-engine pass;
+    ``"cell"`` runs the historical one-job-per-cell plan.  The measured
+    energies — and therefore the result — are bit-identical.
+    """
     if stride < 1:
         raise TuningError("stride must be >= 1")
+    if measurement not in ("grid", "cell"):
+        raise TuningError(
+            f"unknown measurement: {measurement!r}; known: ('grid', 'cell')"
+        )
     points = static_operating_points(
         app, stride=stride, thread_counts=thread_counts
     )
@@ -125,15 +139,42 @@ def exhaustive_static_search(
         config.DEFAULT_OPENMP_THREADS,
     )
     cluster.check_node_id(node_id)
-    jobs = static_jobs(
-        app.name, points=points, node_id=node_id, node_seed=cluster.seed
-    )
-    results = run_app_jobs(jobs, app, cluster=cluster, engine=engine)
+    if measurement == "grid":
+        jobs = grid_jobs(
+            app.name,
+            label="static",
+            points=points,
+            node_id=node_id,
+            node_seed=cluster.seed,
+        )
+        results = run_app_jobs(jobs, app, cluster=cluster, engine=engine)
+        # Map every point back to (its row's payload, its position in
+        # the row).  grid_rows appends a row's UCFs in point order, so
+        # the k-th occurrence of a (threads, CF) pair is row entry k.
+        row_payload = {
+            (threads, cf): results[job]
+            for job, (threads, cf, _ucfs) in zip(jobs, grid_rows(points))
+        }
+        occurrence: dict[tuple, int] = {}
+        energies = np.empty(len(points))
+        times = np.empty(len(points))
+        for k, p in enumerate(points):
+            key = (p.threads, p.core_freq_ghz)
+            i = occurrence.get(key, 0)
+            occurrence[key] = i + 1
+            payload = row_payload[key]
+            energies[k] = payload["node_energy_j"][i]
+            times[k] = payload["time_s"][i]
+    else:
+        jobs = static_jobs(
+            app.name, points=points, node_id=node_id, node_seed=cluster.seed
+        )
+        results = run_app_jobs(jobs, app, cluster=cluster, engine=engine)
+        energies = np.array([results[job]["node_energy_j"] for job in jobs])
+        times = np.array([results[job]["time_s"] for job in jobs])
 
     # Vectorised selection: one objective evaluation + argmin over the
     # whole grid (first minimum, like the historical point loop).
-    energies = np.array([results[job]["node_energy_j"] for job in jobs])
-    times = np.array([results[job]["time_s"] for job in jobs])
     values = objective.batch(energies, times)
     best = int(np.argmin(values))
     default = points.index(default_point)
@@ -144,5 +185,5 @@ def exhaustive_static_search(
         best_time_s=float(times[best]),
         default_energy_j=float(energies[default]),
         default_time_s=float(times[default]),
-        configurations_tried=len(jobs),
+        configurations_tried=len(points),
     )

@@ -62,6 +62,20 @@ def rng_for(*key: Any, seed: int = 0) -> np.random.Generator:
     return np.random.default_rng(stable_hash(seed, *key))
 
 
+#: Cached ``repr(i) + separator`` encodings for integer key suffixes.
+#: Every replay engine derives per-iteration seeds from the same small
+#: range of indices, so the encodings are shared process-wide.
+_ITERATION_SUFFIXES: list[bytes] = []
+
+
+def _iteration_suffixes(n: int) -> list[bytes]:
+    while len(_ITERATION_SUFFIXES) < n:
+        _ITERATION_SUFFIXES.append(
+            repr(len(_ITERATION_SUFFIXES)).encode("utf-8") + b"\x1f"
+        )
+    return _ITERATION_SUFFIXES[:n]
+
+
 class StreamPrefix:
     """Cached BLAKE2b prefix for a family of stream keys.
 
@@ -93,13 +107,24 @@ class StreamPrefix:
     def seeds_for_iterations(self, iterations: int) -> np.ndarray:
         """Seeds for integer suffixes ``0 .. iterations-1`` as ``uint64``."""
         out = np.empty(iterations, dtype=np.uint64)
-        base = self._h
-        for i in range(iterations):
-            h = base.copy()
-            h.update(repr(i).encode("utf-8"))
-            h.update(b"\x1f")
-            out[i] = int.from_bytes(h.digest(), "little")
+        self.fill_iteration_seeds(out)
         return out
+
+    def fill_iteration_seeds(self, out: np.ndarray) -> None:
+        """Fill ``out`` with the seeds for suffixes ``0 .. len(out)-1``.
+
+        The grid-sweep replay derives one seed row per (configuration,
+        work region); filling caller-owned rows avoids a temporary per
+        row.  Digesting ``repr(i)`` and the separator in one update is
+        byte-identical to the two-update form of :meth:`seed_for`.
+        """
+        base = self._h
+        suffixes = _iteration_suffixes(len(out))
+        from_bytes = int.from_bytes
+        for i, suffix in enumerate(suffixes):
+            h = base.copy()
+            h.update(suffix)
+            out[i] = from_bytes(h.digest(), "little")
 
 
 # ---------------------------------------------------------------------------
@@ -272,9 +297,12 @@ def batched_lognormal(
     ``np.random.default_rng(seed).lognormal(0.0, sigma, size)`` per seed.
 
     Returns shape ``(len(seeds),)`` for ``size=None`` and
-    ``(len(seeds), size)`` otherwise.  One reusable Generator is re-seeded
-    by direct state assignment, so the per-draw cost is a fraction of a
-    fresh ``default_rng`` construction.
+    ``(len(seeds), size)`` otherwise.  Single draws (``size=None``, the
+    replay engines' shape) go through a vectorized PCG64 + ziggurat
+    fast path (see :class:`_ZigguratFastPath`); batches and any seed the
+    fast path cannot serve bit-exactly fall back to one reusable
+    Generator re-seeded by direct state assignment — itself a fraction
+    of a fresh ``default_rng`` construction per draw.
     """
     seeds = np.asarray(seeds, dtype=np.uint64)
     n = len(seeds)
@@ -284,23 +312,262 @@ def batched_lognormal(
         out = np.empty((n, size))
     if n == 0:
         return out
-    # Re-seed one Generator per draw by direct state assignment,
-    # replicating pcg64_srandom_r: the word pairs combine high-first
-    # (PCG_128BIT_CONSTANT), the increment is (initseq << 1) | 1 and the
-    # state advances two LCG steps.  tolist() yields Python ints in
-    # bulk, and the state-dict template is reused across draws.
-    word_blocks = _seed_words(seeds).tolist()
+    words = _seed_words(seeds)
+    if size is None and n >= 32:
+        fast = _ziggurat_fast_path()
+        if fast is not None:
+            fast.lognormal_into(words, sigma, out)
+            return out
+    _lognormal_scalar(words.tolist(), sigma, size, out, range(n))
+    return out
+
+
+def _lognormal_scalar(word_blocks, sigma: float, size, out, indices) -> None:
+    """The scalar reference path: one re-seeded Generator per draw.
+
+    Replicates ``pcg64_srandom_r``: the word pairs combine high-first
+    (PCG_128BIT_CONSTANT), the increment is ``(initseq << 1) | 1`` and
+    the state advances two LCG steps.  The state-dict template is
+    reused across draws.  ``indices`` selects which rows to fill, so
+    the ziggurat fast path can delegate its rejection cases here.
+    """
     bitgen = np.random.PCG64(0)
     gen = np.random.Generator(bitgen)
     state_template = bitgen.state
     inner_state = state_template["state"]
     lognormal = gen.lognormal
     mult, mask = _PCG_MULT, _MASK_128
-    for i in range(n):
+    for i in indices:
         w0, w1, w2, w3 = word_blocks[i]
         inc = ((((w2 << 64) | w3) << 1) | 1) & mask
         inner_state["inc"] = inc
         inner_state["state"] = ((inc + ((w0 << 64) | w1)) * mult + inc) & mask
         bitgen.state = state_template
         out[i] = lognormal(0.0, sigma, size)
-    return out
+
+
+# ---------------------------------------------------------------------------
+# Vectorized PCG64 output + ziggurat fast-accept path
+# ---------------------------------------------------------------------------
+#
+# A single lognormal draw per stream costs three scalar steps: re-seed a
+# PCG64 (state-dict assignment), draw one standard normal (ziggurat),
+# exponentiate.  All three vectorise:
+#
+# * the seeded state and its first 64-bit output are plain 128-bit LCG
+#   arithmetic (``state * mult + inc`` twice, then XSL-RR), computed
+#   here with 32-bit limb products over the whole seed batch;
+# * numpy's ziggurat accepts ~98.9% of first outputs immediately
+#   (``rabs < ki[idx]``), returning ``rabs * wi[idx]`` with the sign
+#   bit applied — elementwise arithmetic once the ``ki``/``wi`` tables
+#   are known;
+# * ``Generator.lognormal(0, sigma)`` is ``exp(0.0 + sigma * z)`` with
+#   libm's ``exp`` — reproduced per element through ``math.exp`` (the
+#   same libm symbol; ``np.exp``'s SIMD kernels may differ in the last
+#   ulp and are NOT used).
+#
+# The tables are not exposed by numpy, so they are **extracted from the
+# running interpreter** on first use: crafting a generator state whose
+# next output is any chosen word (the LCG step is invertible, and a
+# zero high half makes XSL-RR the identity) lets us read ``wi[idx]``
+# off an accepted draw with a power-of-two mantissa (exact division)
+# and bisect ``ki[idx]`` by observing how many LCG steps a draw
+# consumed (exactly one iff fast-accepted).  The extraction verifies
+# the step/output semantics against ``random_raw`` and the assembled
+# fast path draw-for-draw against the scalar reference; any mismatch
+# (e.g. a future numpy changing its ziggurat) disables the fast path
+# for the process, falling back to the scalar loop.  Seeds whose first
+# output is not fast-accepted (~1%) always take the scalar path.
+
+_MASK_32_U64 = np.uint64(0xFFFFFFFF)
+_MULT_B0 = np.uint64(_PCG_MULT & 0xFFFFFFFF)
+_MULT_B1 = np.uint64((_PCG_MULT >> 32) & 0xFFFFFFFF)
+_MULT_LO = np.uint64(_PCG_MULT & 0xFFFFFFFFFFFFFFFF)
+_MULT_HI = np.uint64(_PCG_MULT >> 64)
+_RABS_MASK = np.uint64(0x000FFFFFFFFFFFFF)
+
+
+def _mul64_lo_hi(a: np.ndarray, b0: np.uint64, b1: np.uint64, b_lo: np.uint64):
+    """Full 64x64 -> 128 product of ``a`` with the constant ``b``
+    (given as 32-bit halves ``b0``/``b1`` and 64-bit ``b_lo``)."""
+    a0 = a & _MASK_32_U64
+    a1 = a >> np.uint64(32)
+    p00 = a0 * b0
+    p01 = a0 * b1
+    p10 = a1 * b0
+    mid = (p00 >> np.uint64(32)) + (p01 & _MASK_32_U64) + (p10 & _MASK_32_U64)
+    lo = a * b_lo
+    hi = (
+        a1 * b1
+        + (p01 >> np.uint64(32))
+        + (p10 >> np.uint64(32))
+        + (mid >> np.uint64(32))
+    )
+    return lo, hi
+
+
+def _step128(lo, hi, inc_lo, inc_hi):
+    """One PCG64 LCG step, ``state * mult + inc`` mod 2**128."""
+    p_lo, p_hi = _mul64_lo_hi(lo, _MULT_B0, _MULT_B1, _MULT_LO)
+    p_hi = p_hi + lo * _MULT_HI + hi * _MULT_LO
+    r_lo = p_lo + inc_lo
+    carry = (r_lo < p_lo).astype(np.uint64)
+    r_hi = p_hi + inc_hi + carry
+    return r_lo, r_hi
+
+
+def _first_outputs(words: np.ndarray) -> np.ndarray:
+    """First ``next_uint64`` of a freshly seeded PCG64, per word block.
+
+    Mirrors ``pcg64_srandom_r`` (state = ``(inc + entropy) * mult +
+    inc``) followed by one generate step and the XSL-RR output
+    function, vectorized over the batch.
+    """
+    ent_hi = words[:, 0]
+    ent_lo = words[:, 1]
+    inc_hi = (words[:, 2] << np.uint64(1)) | (words[:, 3] >> np.uint64(63))
+    inc_lo = (words[:, 3] << np.uint64(1)) | np.uint64(1)
+    t_lo = inc_lo + ent_lo
+    carry = (t_lo < inc_lo).astype(np.uint64)
+    t_hi = inc_hi + ent_hi + carry
+    s_lo, s_hi = _step128(t_lo, t_hi, inc_lo, inc_hi)
+    s_lo, s_hi = _step128(s_lo, s_hi, inc_lo, inc_hi)
+    rot = s_hi >> np.uint64(58)
+    v = s_hi ^ s_lo
+    return (v >> rot) | (v << ((np.uint64(64) - rot) & np.uint64(63)))
+
+
+class _ZigguratFastPath:
+    """Runtime-extracted ziggurat tables plus the vectorized draw."""
+
+    def __init__(self, ki: np.ndarray, wi: np.ndarray):
+        self._ki = ki  #: (256,) uint64 fast-accept thresholds
+        self._wi = wi  #: (256,) float64 strip widths
+
+    def lognormal_into(self, words: np.ndarray, sigma: float, out: np.ndarray) -> None:
+        """Fill ``out`` with one ``lognormal(0, sigma)`` per word block."""
+        import math
+
+        output = _first_outputs(words)
+        idx = (output & np.uint64(0xFF)).astype(np.intp)
+        shifted = output >> np.uint64(8)
+        sign = shifted & np.uint64(1)
+        rabs = (shifted >> np.uint64(1)) & _RABS_MASK
+        accepted = rabs < self._ki[idx]
+        x = rabs.astype(np.float64) * self._wi[idx]
+        np.negative(x, where=sign.astype(bool), out=x)
+        scale = float(sigma)
+        exp = math.exp
+        values = x[accepted].tolist()
+        out[accepted] = [exp(0.0 + scale * z) for z in values]
+        rejected = np.nonzero(~accepted)[0]
+        if rejected.size:
+            values = np.empty(rejected.size)
+            _lognormal_scalar(
+                words[rejected].tolist(), sigma, None, values, range(rejected.size)
+            )
+            out[rejected] = values
+
+
+_ZIGGURAT: _ZigguratFastPath | bool | None = None
+
+
+def _ziggurat_fast_path() -> _ZigguratFastPath | None:
+    """The process-wide fast path, extracted and verified on first use."""
+    global _ZIGGURAT
+    if _ZIGGURAT is None:
+        try:
+            _ZIGGURAT = _extract_ziggurat()
+        except Exception:
+            _ZIGGURAT = False
+    return _ZIGGURAT or None
+
+
+def _extract_ziggurat() -> _ZigguratFastPath | bool:
+    """Extract ``ki``/``wi`` from the running numpy and self-verify.
+
+    Returns ``False`` (disabling the fast path) whenever the observed
+    generator semantics deviate from the expectations above.
+    """
+    mask = _MASK_128
+    mult = _PCG_MULT
+    inv_mult = pow(mult, -1, 1 << 128)
+    bitgen = np.random.PCG64(0)
+    gen = np.random.Generator(bitgen)
+    template = bitgen.state
+    inner = template["state"]
+    inc = inner["inc"]
+    standard_normal = gen.standard_normal
+
+    def step(state: int) -> int:
+        return (state * mult + inc) & mask
+
+    def output(state: int) -> int:
+        hi, lo = state >> 64, state & 0xFFFFFFFFFFFFFFFF
+        v = hi ^ lo
+        rot = hi >> 58
+        return ((v >> rot) | (v << (64 - rot))) & 0xFFFFFFFFFFFFFFFF if rot else v
+
+    def seed_for_output(word: int) -> int:
+        # Post-step state with a zero high half makes XSL-RR the
+        # identity, so the pre-step state is one inverse LCG step away.
+        return ((word - inc) * inv_mult) & mask
+
+    # Verify the step/output semantics against the raw stream.
+    probe = seed_for_output(0x0123456789ABCDEF)
+    inner["state"] = probe
+    bitgen.state = template
+    if int(bitgen.random_raw()) != 0x0123456789ABCDEF:
+        return False
+
+    def draw(word: int) -> tuple[float, int]:
+        """One standard normal whose first uint64 is ``word``, plus the
+        number of LCG steps the draw consumed."""
+        pre = seed_for_output(word)
+        inner["state"] = pre
+        bitgen.state = template
+        value = float(standard_normal())
+        end = bitgen.state["state"]["state"]
+        state = pre
+        for steps in range(1, 64):
+            state = step(state)
+            if state == end:
+                return value, steps
+        raise RuntimeError("unexpected stream consumption")
+
+    ki = np.empty(256, dtype=np.uint64)
+    wi = np.zeros(256, dtype=np.float64)
+    for idx in range(256):
+        # Bisect the fast-accept threshold: accepted draws consume
+        # exactly one step, everything else at least two.
+        lo, hi = 0, 1 << 52
+        while lo < hi:
+            mid = (lo + hi) // 2
+            _, steps = draw((mid << 9) | idx)
+            if steps == 1:
+                lo = mid + 1
+            else:
+                hi = mid
+        ki[idx] = lo
+        if lo > 1:
+            # Probe the strip width with an accepted power-of-two
+            # mantissa, so the division recovering ``wi`` is exact.
+            probe_rabs = 1 << (int(lo).bit_length() - 2)
+            value, steps = draw((probe_rabs << 9) | idx)
+            if steps != 1 or value < 0.0:
+                return False
+            wi[idx] = value / probe_rabs
+    fast = _ZigguratFastPath(ki, wi)
+
+    # Draw-for-draw verification against the scalar reference.
+    check_seeds = np.random.default_rng(0).integers(
+        0, 1 << 64, size=4096, dtype=np.uint64
+    )
+    words = _seed_words(check_seeds)
+    got = np.empty(len(check_seeds))
+    fast.lognormal_into(words, 0.0025, got)
+    want = np.empty(len(check_seeds))
+    _lognormal_scalar(words.tolist(), 0.0025, None, want, range(len(check_seeds)))
+    if not np.array_equal(got, want):
+        return False
+    return fast

@@ -22,3 +22,34 @@ def check_in_range(name: str, value: float, lo: float, hi: float) -> float:
 def check_fraction(name: str, value: float) -> float:
     """Validate that ``value`` lies in the closed unit interval."""
     return check_in_range(name, value, 0.0, 1.0)
+
+
+#: Two frequencies within half an MSR ratio step (100 MHz) denote the
+#: same hardware state; in practice callers are at most float-dust away.
+FREQUENCY_TOLERANCE_GHZ = 0.05
+
+
+def frequency_index(
+    frequencies, value_ghz: float, *, axis: str = "frequency"
+) -> int:
+    """Position of ``value_ghz`` on a frequency axis, tolerantly.
+
+    Grid axes hold decimal frequencies (2.4, 1.7, ...) that callers may
+    reproduce through arithmetic (``2.5 - 0.1``), so exact ``.index()``
+    lookups are fragile and fail with an unhelpful bare ``ValueError``.
+    This matches within :data:`FREQUENCY_TOLERANCE_GHZ` and raises a
+    ``ValueError`` naming the frequency and the axis when nothing is
+    close enough.
+    """
+    best = min(
+        range(len(frequencies)),
+        key=lambda i: abs(frequencies[i] - value_ghz),
+        default=None,
+    )
+    if best is None or abs(frequencies[best] - value_ghz) > FREQUENCY_TOLERANCE_GHZ:
+        lo, hi = (frequencies[0], frequencies[-1]) if frequencies else ("-", "-")
+        raise ValueError(
+            f"{value_ghz} GHz is not on the {axis} axis "
+            f"({len(frequencies)} steps, {lo}..{hi} GHz)"
+        )
+    return best

@@ -38,6 +38,13 @@ def savings_report(speedup: float, identical: bool = True) -> dict:
     }
 
 
+def grid_report(speedup: float, identical: bool = True) -> dict:
+    return {
+        "benchmark": "grid_sweep",
+        "aggregate": {"speedup": speedup, "engines_identical": identical},
+    }
+
+
 class TestGate:
     def test_passes_when_equal(self, tmp_path):
         current = write(tmp_path / "a.json", sim_report(12.0))
@@ -79,6 +86,21 @@ class TestGate:
     def test_passes_on_healthy_savings_report(self, tmp_path):
         current = write(tmp_path / "a.json", savings_report(5.0))
         baseline = write(tmp_path / "b.json", savings_report(5.7))
+        assert gate.main([str(current), str(baseline)]) == 0
+
+    def test_fails_on_grid_sweep_slowdown(self, tmp_path):
+        current = write(tmp_path / "a.json", grid_report(5.0))
+        baseline = write(tmp_path / "b.json", grid_report(10.5))
+        assert gate.main([str(current), str(baseline)]) == 1
+
+    def test_fails_when_grid_engines_diverge(self, tmp_path):
+        current = write(tmp_path / "a.json", grid_report(11.0, identical=False))
+        baseline = write(tmp_path / "b.json", grid_report(10.5))
+        assert gate.main([str(current), str(baseline)]) == 1
+
+    def test_passes_on_healthy_grid_report(self, tmp_path):
+        current = write(tmp_path / "a.json", grid_report(10.0))
+        baseline = write(tmp_path / "b.json", grid_report(10.5))
         assert gate.main([str(current), str(baseline)]) == 0
 
     def test_max_drop_flag(self, tmp_path):
@@ -125,9 +147,20 @@ class TestCommittedBaselines:
         assert report["aggregate"]["speedup"] >= 5
         assert report["aggregate"]["engines_identical"] is True
 
+    def test_grid_sweep_baseline(self):
+        report = json.loads((self.BASELINES / "grid-sweep.json").read_text())
+        assert report["benchmark"] == "grid_sweep"
+        # The sweep-engine acceptance: >= 5x on the Fig 6/7 grids.
+        assert report["aggregate"]["speedup"] >= 5
+        assert report["aggregate"]["engines_identical"] is True
+        assert {r["app"] for r in report["results"]} == {"Lulesh", "Mcb"}
+
     def test_gate_passes_against_itself(self, capsys):
         for name in (
-            "sim-throughput.json", "tuning-time.json", "dynamic-replay.json"
+            "sim-throughput.json",
+            "tuning-time.json",
+            "dynamic-replay.json",
+            "grid-sweep.json",
         ):
             path = self.BASELINES / name
             assert gate.main([str(path), str(path)]) == 0

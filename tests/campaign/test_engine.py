@@ -266,6 +266,8 @@ class TestConsumerEquivalence:
     def test_static_search_cached_run_simulates_nothing(self, tmp_path):
         from repro.ptf.static_tuning import exhaustive_static_search
 
+        from repro.campaign.plan import grid_rows, static_operating_points
+
         cluster = Cluster(4)
         app = registry.build("EP")
         store = ResultStore(tmp_path / "store.jsonl")
@@ -274,12 +276,20 @@ class TestConsumerEquivalence:
             app, cluster, stride=6, thread_counts=(24,), engine=engine
         )
         executed = engine.total_executed
-        assert executed == first.configurations_tried
+        # The default measurement submits one sweep-replay job per
+        # (threads, CF) grid row, not one per cell.
+        points = static_operating_points(app, stride=6, thread_counts=(24,))
+        assert executed == len(grid_rows(points))
+        assert first.configurations_tried == len(points)
         second = exhaustive_static_search(
             app, cluster, stride=6, thread_counts=(24,), engine=engine
         )
         assert engine.total_executed == executed  # zero new simulations
         assert second == first
+        # The historical per-cell plan measures the same result.
+        assert exhaustive_static_search(
+            app, cluster, stride=6, thread_counts=(24,), measurement="cell"
+        ) == first
 
     def test_static_search_honours_explicit_threads_for_mpi_codes(self):
         from repro.ptf.static_tuning import exhaustive_static_search

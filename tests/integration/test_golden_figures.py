@@ -1,13 +1,13 @@
 """Golden-figure regression tests: pin the paper's numbers to fixtures.
 
-Scaled-down, fully seeded versions of the three headline artefacts —
-Table 6 tuning savings, Figure 5 LOOCV MAPE and Table 1 counter
-selection — are pinned to committed JSON fixtures, so a refactor that
-silently drifts the simulated physics, the training pipeline or the
-selection algorithm fails here even when every structural assertion
-still holds.  Each artefact is computed through *two* engines and both
-must agree before the fixture comparison, keeping the goldens
-engine-independent.
+Scaled-down, fully seeded versions of the headline artefacts —
+Table 6 tuning savings, Figure 5 LOOCV MAPE, Table 1 counter
+selection and the Figure 6/7 energy heatmaps — are pinned to committed
+JSON fixtures, so a refactor that silently drifts the simulated
+physics, the training pipeline or the selection algorithm fails here
+even when every structural assertion still holds.  Each artefact is
+computed through *two* engines and both must agree before the fixture
+comparison, keeping the goldens engine-independent.
 
 Values are compared with a tight relative tolerance (1e-6): loose
 enough for libm differences across platforms, far below any genuine
@@ -127,10 +127,56 @@ def compute_table1() -> dict:
     }
 
 
+#: Paper plugin picks for the Figure 6/7 heatmaps (yellow cells).
+FIG67_CASES = {
+    "fig6-lulesh-heatmap": ("Lulesh", 24, (2.5, 2.1)),
+    "fig7-mcb-heatmap": ("Mcb", 20, (1.6, 2.3)),
+}
+
+
+def _compute_heatmap(benchmark: str, threads: int, selected) -> dict:
+    """One figure's full-grid heatmap, computed through both engines."""
+    import numpy as np
+
+    from repro.analysis.heatmap import energy_heatmap
+
+    maps = {
+        engine: energy_heatmap(
+            benchmark,
+            threads=threads,
+            cluster=Cluster(2),
+            selected=selected,
+            engine=engine,
+        )
+        for engine in ("sweep", "loop")
+    }
+    assert np.array_equal(
+        maps["sweep"].normalized, maps["loop"].normalized
+    ), "engines disagree"
+    heatmap = maps["sweep"]
+    return {
+        "best": list(heatmap.best),
+        "best_value": heatmap.best_value,
+        "selected_value": heatmap.value_at(*selected),
+        "plateau": [list(cell) for cell in heatmap.plateau()],
+        "selected_within_plateau": heatmap.selected_within_plateau(),
+    }
+
+
+def compute_fig6() -> dict:
+    return _compute_heatmap(*FIG67_CASES["fig6-lulesh-heatmap"])
+
+
+def compute_fig7() -> dict:
+    return _compute_heatmap(*FIG67_CASES["fig7-mcb-heatmap"])
+
+
 GOLDENS = {
     "table6-savings": compute_table6,
     "fig5-loocv-mape": compute_fig5,
     "table1-counter-selection": compute_table1,
+    "fig6-lulesh-heatmap": compute_fig6,
+    "fig7-mcb-heatmap": compute_fig7,
 }
 
 

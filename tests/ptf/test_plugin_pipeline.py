@@ -84,6 +84,37 @@ class TestExperimentsEngine:
                 registry.build("EP"), []
             )
 
+    def test_schedule_controller_rides_controlled_replay(self, cluster):
+        """The predeclared experiment schedule compiles for the
+        controlled-replay fast path, bit-identical to the recursion."""
+        from repro import config as cfg
+        from repro.execution.simulator import ExecutionSimulator
+        from repro.ptf.experiments import _ScheduleController
+
+        app = registry.build("Lulesh")
+        schedule = [
+            OperatingPoint(2.4, 1.7, 24),
+            OperatingPoint(1.6, 2.5, 16),
+            OperatingPoint(2.0, 1.5, 24),
+        ]
+        runs = {}
+        for fast_path in (None, False):
+            node = cluster.fresh_node(0)
+            node.set_frequencies(
+                cfg.CALIBRATION_CORE_FREQ_GHZ, cfg.CALIBRATION_UNCORE_FREQ_GHZ
+            )
+            controller = _ScheduleController(list(schedule), app.phase.name)
+            runs[fast_path] = ExecutionSimulator(node).run(
+                app,
+                threads=schedule[0].threads,
+                controller=controller,
+                instrumented=True,
+                run_key=("experiments", (("exhaustive",), 0)),
+                fast_path=fast_path,
+            )
+        assert runs[None].engine == "replay"
+        assert runs[None] == runs[False]
+
 
 class TestEnergyPlugin:
     def test_plugin_requires_initialisation(self, trained_model):

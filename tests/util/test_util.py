@@ -130,6 +130,62 @@ class TestBatchedDraws:
         assert batched_lognormal(np.empty(0, dtype=np.uint64), 0.1).shape == (0,)
 
 
+class TestZigguratFastPath:
+    """Large single-draw batches ride a vectorized PCG64 + ziggurat
+    path whose tables are extracted from the running numpy; it must be
+    indistinguishable from per-seed ``default_rng`` draws."""
+
+    def test_large_batch_bit_identical(self):
+        seeds = np.random.default_rng(42).integers(
+            0, 2**64, size=3000, dtype=np.uint64
+        )
+        batch = batched_lognormal(seeds, 0.0025)
+        for i in (0, 1, 17, 500, 1499, 2999):
+            expected = np.random.default_rng(int(seeds[i])).lognormal(0.0, 0.0025)
+            assert batch[i] == expected
+
+    def test_small_seed_magnitudes(self):
+        seeds = np.arange(64, dtype=np.uint64)
+        batch = batched_lognormal(seeds, 0.015)
+        for i in range(64):
+            assert batch[i] == np.random.default_rng(i).lognormal(0.0, 0.015)
+
+    def test_fast_and_scalar_paths_agree_everywhere(self):
+        from repro.util.rng import _lognormal_scalar, _seed_words, _ziggurat_fast_path
+
+        seeds = np.random.default_rng(7).integers(
+            0, 2**64, size=2048, dtype=np.uint64
+        )
+        fast = _ziggurat_fast_path()
+        if fast is None:  # pragma: no cover - depends on numpy internals
+            pytest.skip("ziggurat fast path unavailable on this numpy")
+        words = _seed_words(seeds)
+        got = np.empty(len(seeds))
+        fast.lognormal_into(words, 0.0025, got)
+        want = np.empty(len(seeds))
+        _lognormal_scalar(words.tolist(), 0.0025, None, want, range(len(seeds)))
+        assert np.array_equal(got, want)
+
+    def test_first_outputs_match_raw_streams(self):
+        from repro.util.rng import _first_outputs, _seed_words
+
+        seeds = np.random.default_rng(3).integers(
+            0, 2**64, size=32, dtype=np.uint64
+        )
+        outputs = _first_outputs(_seed_words(seeds))
+        for i, seed in enumerate(seeds):
+            raw = np.random.default_rng(int(seed)).bit_generator.random_raw()
+            assert int(outputs[i]) == int(raw)
+
+    def test_fill_iteration_seeds_matches_seeds_for_iterations(self):
+        prefix = StreamPrefix("time", 2, ("grid", 1.2, 1.3), "r", seed=4)
+        out = np.empty(12, dtype=np.uint64)
+        prefix.fill_iteration_seeds(out)
+        assert np.array_equal(out, prefix.seeds_for_iterations(12))
+        for i in range(12):
+            assert out[i] == prefix.seed_for(i)
+
+
 class TestValidation:
     def test_check_positive(self):
         assert check_positive("x", 1.0) == 1.0

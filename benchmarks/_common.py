@@ -10,7 +10,10 @@ reuses the persisted results instead of re-simulating — only the
 computation belonging to each table/figure is measured.
 
 The store lives under ``benchmarks/.cache/`` by default; set
-``REPRO_BENCH_CACHE_DIR`` to relocate it (tests use a temp dir) or
+``REPRO_BENCH_CACHE_DIR`` to relocate it (tests use a temp dir),
+``REPRO_BENCH_CACHE_BACKEND`` to pick the store backend
+(``jsonl``/``sqlite``/``segment``; default: an existing legacy JSONL
+store is kept, fresh caches use indexed SQLite) or
 ``REPRO_CAMPAIGN_WORKERS`` to size the worker pool.  Cold-cache
 sessions additionally benefit from the simulator's vectorized replay
 fast path (see ``benchmarks/bench_sim_throughput.py`` for the measured
@@ -32,6 +35,7 @@ five epochs per held-out benchmark.
 
 from __future__ import annotations
 
+import atexit
 import functools
 import os
 from pathlib import Path
@@ -54,6 +58,16 @@ DEPLOYED_EPOCHS = 10
 #: Environment override for the on-disk campaign store location.
 CACHE_DIR_ENV = "REPRO_BENCH_CACHE_DIR"
 
+#: Environment override for the store backend (jsonl/sqlite/segment).
+CACHE_BACKEND_ENV = "REPRO_BENCH_CACHE_BACKEND"
+
+#: Store filename per backend (the segment backend is a directory).
+_STORE_NAMES = {
+    "jsonl": "campaign-store.jsonl",
+    "sqlite": "campaign-store.sqlite",
+    "segment": "campaign-store",
+}
+
 
 def cache_dir() -> Path:
     """Where the benchmark harness persists campaign results."""
@@ -62,10 +76,40 @@ def cache_dir() -> Path:
     )
 
 
+def store_path() -> Path:
+    """The harness store location, honouring the backend env var.
+
+    Without an explicit ``$REPRO_BENCH_CACHE_BACKEND``, an existing
+    legacy JSONL store keeps being used (warm caches stay warm); fresh
+    cache directories get the indexed SQLite backend, whose cold-open
+    cost stays flat as the store grows into the millions of records.
+    """
+    backend = os.environ.get(CACHE_BACKEND_ENV)
+    if backend is None:
+        legacy = cache_dir() / _STORE_NAMES["jsonl"]
+        if legacy.exists():
+            return legacy
+        backend = "sqlite"
+    if backend not in _STORE_NAMES:
+        raise ValueError(
+            f"{CACHE_BACKEND_ENV} must be one of {sorted(_STORE_NAMES)}, "
+            f"got {backend!r}"
+        )
+    return cache_dir() / _STORE_NAMES[backend]
+
+
 @functools.lru_cache(maxsize=1)
 def campaign_engine() -> CampaignEngine:
-    """The harness-wide engine: worker pool + persistent result store."""
-    store = ResultStore(cache_dir() / "campaign-store.jsonl")
+    """The harness-wide engine: worker pool + persistent result store.
+
+    The store is closed at interpreter exit so index sidecars/handles
+    never dangle (`ResultStore` is also a context manager; the harness
+    keeps one open per session instead).
+    """
+    store = ResultStore(
+        store_path(), backend=os.environ.get(CACHE_BACKEND_ENV)
+    )
+    atexit.register(store.close)
     return CampaignEngine(store=store)
 
 

@@ -35,6 +35,12 @@ GATED_METRICS: dict[str, tuple[str, ...]] = {
     "loocv_mape": (),
     "table6_savings": ("aggregate.speedup",),
     "grid_sweep": ("aggregate.speedup",),
+    "store_scale": (
+        "backends.sqlite.recall_speedup",
+        "backends.sqlite.cold_open_speedup",
+        "backends.segment.recall_speedup",
+        "backends.segment.cold_open_speedup",
+    ),
 }
 
 #: Dotted paths of boolean flags that must be true, per report kind.
@@ -44,6 +50,7 @@ REQUIRED_FLAGS: dict[str, tuple[str, ...]] = {
     "loocv_mape": ("mape_identical",),
     "table6_savings": ("aggregate.engines_identical",),
     "grid_sweep": ("aggregate.engines_identical",),
+    "store_scale": ("payloads_identical",),
 }
 
 

@@ -11,10 +11,15 @@ into three orthogonal pieces:
     that expand benchmark lists into full job grids
     (:class:`CampaignPlan`).
 :mod:`repro.campaign.store`
-    A content-addressed JSON-lines store (:class:`ResultStore`): every
-    job result is keyed by a hash of its full descriptor
-    (app, operating point, node, seeds, mode), so repeated benches and
-    LOOCV retraining hit the cache instead of re-simulating.
+    A content-addressed result store (:class:`ResultStore`): every job
+    result is keyed by a hash of its full descriptor (app, operating
+    point, node, seeds, mode), so repeated benches and LOOCV retraining
+    hit the cache instead of re-simulating.  Storage is pluggable
+    (:mod:`repro.campaign.backends`): the compatibility JSON-lines
+    file, an indexed SQLite database (WAL, concurrent multi-process
+    writers), or sharded segment files with sidecar offset indexes —
+    auto-detected from the store path, convertible with
+    :func:`migrate_store`.
 :mod:`repro.campaign.engine`
     The executor (:class:`CampaignEngine`): runs the uncached jobs of a
     plan, serially or across a ``ProcessPoolExecutor`` worker pool.
@@ -51,9 +56,21 @@ from repro.campaign.plan import (
     sweep_operating_points,
     thread_series,
 )
-from repro.campaign.store import STORE_VERSION, ResultStore, job_key
+from repro.campaign.backends import (
+    BACKEND_KINDS,
+    StoreBackend,
+    detect_backend_kind,
+    open_backend,
+)
+from repro.campaign.store import (
+    STORE_VERSION,
+    ResultStore,
+    job_key,
+    migrate_store,
+)
 
 __all__ = [
+    "BACKEND_KINDS",
     "CampaignEngine",
     "CampaignJob",
     "CampaignPlan",
@@ -61,10 +78,14 @@ __all__ = [
     "CampaignResults",
     "ResultStore",
     "STORE_VERSION",
+    "StoreBackend",
     "counter_jobs",
     "default_worker_count",
+    "detect_backend_kind",
     "execute_job",
     "job_key",
+    "migrate_store",
+    "open_backend",
     "plan_dataset_campaign",
     "plan_static_campaign",
     "qualified_descriptor",

@@ -260,6 +260,45 @@ def execute_job(
     }
 
 
+#: Per-process store instances for direct-writing pool workers, keyed
+#: by (pid, path) — the pid guard matters under fork, where a parent's
+#: populated cache is inherited verbatim and must not be reused.
+_WORKER_STORES: dict[tuple[int, str], ResultStore] = {}
+
+
+def _worker_store(path: str, backend: str) -> ResultStore:
+    key = (os.getpid(), path)
+    store = _WORKER_STORES.get(key)
+    if store is None:
+        store = ResultStore(path, backend=backend)
+        _WORKER_STORES[key] = store
+    return store
+
+
+def execute_job_stored(
+    job: CampaignJob,
+    topology: NodeTopology | None,
+    store_path: str,
+    store_backend: str,
+    key: str,
+    descriptor: dict[str, Any],
+) -> dict[str, Any]:
+    """Run one job in a pool worker and persist its result directly.
+
+    With a backend that takes concurrent writers (SQLite, segments),
+    each worker writes its own results instead of funneling them
+    through the parent — an interrupted campaign keeps every finished
+    job even if the parent dies before collecting futures.  The worker
+    flushes after each put, so index sidecars stay current without the
+    worker ever having to close the store.
+    """
+    payload = execute_job(job, topology)
+    store = _worker_store(store_path, store_backend)
+    store.put(key, descriptor, payload)
+    store.flush()
+    return payload
+
+
 @dataclass(frozen=True)
 class CampaignReport:
     """What one :meth:`CampaignEngine.run` call did."""
@@ -405,21 +444,62 @@ class CampaignEngine:
         ctx = multiprocessing.get_context("fork" if "fork" in methods else None)
         return ProcessPoolExecutor(max_workers=workers, mp_context=ctx)
 
+    def _direct_write(self) -> bool:
+        """Whether pool workers should write the store themselves."""
+        return (
+            self.store is not None
+            and self.store.path is not None
+            and self.store.supports_concurrent_writers
+        )
+
     def _run_pool(
         self,
         pending: list[tuple[str, CampaignJob]],
         workers: int,
         payloads: dict[str, dict[str, Any]],
     ) -> None:
-        """Fan the pending jobs out across a process pool."""
+        """Fan the pending jobs out across a process pool.
+
+        On a concurrent-writer backend, workers persist their own
+        results (:func:`execute_job_stored`); the parent releases its
+        handles before forking — a forked SQLite connection shares
+        POSIX locks — and refreshes afterwards so recalls see the
+        worker-written records.  On the JSONL tier, results funnel
+        through the parent's single writer as before.
+        """
+        direct = self._direct_write()
+        if direct:
+            self.store.release()
         with self._pool(workers) as pool:
-            futures = [
-                (key, job, pool.submit(execute_job, job, self.topology))
-                for key, job in pending
-            ]
+            if direct:
+                path, backend = str(self.store.path), self.store.backend
+                futures = [
+                    (
+                        key,
+                        job,
+                        pool.submit(
+                            execute_job_stored,
+                            job,
+                            self.topology,
+                            path,
+                            backend,
+                            key,
+                            self._descriptor(job),
+                        ),
+                    )
+                    for key, job in pending
+                ]
+            else:
+                futures = [
+                    (key, job, pool.submit(execute_job, job, self.topology))
+                    for key, job in pending
+                ]
             for key, job, future in futures:
                 payloads[key] = future.result()
-                self._persist(key, job, payloads[key])
+                if not direct:
+                    self._persist(key, job, payloads[key])
+        if direct:
+            self.store.refresh()
 
     # ------------------------------------------------------------------
     def map_tasks(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list:

@@ -1,12 +1,21 @@
-"""Content-addressed on-disk result store (JSON lines).
+"""Content-addressed on-disk result store with pluggable backends.
 
 Every campaign job result is stored under a key derived from the job's
 full descriptor — application, mode, operating point, node id, seeds,
 repetition and counter set — so a result is reused if and only if it
-would be bit-identical to a fresh simulation.  The on-disk format is
-append-only JSON lines, one record per job::
+would be bit-identical to a fresh simulation.  Records are dicts ::
 
-    {"key": "<blake2b-128 hex>", "job": {...descriptor...}, "result": {...}}
+    {"key": "<blake2b-128 hex>", "store_version": N,
+     "job": {...descriptor...}, "result": {...}}
+
+serialised as sorted-key JSON by whichever backend holds them (see
+:mod:`repro.campaign.backends`): the original append-only JSON-lines
+file, an indexed SQLite database (WAL mode, concurrent multi-process
+writers), or a directory of key-prefix-sharded segment files with
+sidecar offset indexes.  The backend is auto-detected from the path
+(``.jsonl`` file / ``.sqlite`` file / directory); all backends are
+record-for-record equivalent, and :func:`migrate_store` converts
+between them.
 
 JSON serialises floats via ``repr`` (shortest round-trip), so payloads
 read back from a warm store compare equal to freshly simulated ones.
@@ -26,14 +35,23 @@ from __future__ import annotations
 import hashlib
 import json
 from pathlib import Path
-from typing import IO, Any
+from typing import Any, Iterator
 
+from repro.campaign.backends import (
+    BACKEND_KINDS,
+    STORE_VERSION,
+    StoreBackend,
+    open_backend,
+)
 from repro.errors import CampaignError
 
-#: Bump on any change to simulator physics or payload layout.
-#: v2: records carry ``store_version``; the store also holds trained-model
-#: parameter payloads (``mode: "train-model"``) next to simulation results.
-STORE_VERSION = 2
+__all__ = [
+    "STORE_VERSION",
+    "BACKEND_KINDS",
+    "ResultStore",
+    "job_key",
+    "migrate_store",
+]
 
 
 def job_key(descriptor: dict[str, Any]) -> str:
@@ -47,61 +65,43 @@ def job_key(descriptor: dict[str, Any]) -> str:
 class ResultStore:
     """Persistent (or, with ``path=None``, in-memory) job-result cache.
 
-    The store is loaded eagerly on construction and appended to on every
-    :meth:`put`.  Unparseable lines (e.g. a truncated tail after a
-    crash) are skipped on load; the next ``put`` of that key simply
-    rewrites the record.
+    The backend is auto-detected from the path unless named explicitly
+    (``backend="jsonl" | "sqlite" | "segment"``).  The JSONL backend
+    keeps the historical behaviour — eagerly loaded, appended on every
+    :meth:`put` — while the indexed backends open lazily and look keys
+    up on demand.  Unparseable bytes (a truncated tail after a crash, a
+    torn WAL, a garbled index sidecar) load as misses, never as
+    crashes; the next ``put`` of an affected key rewrites the record.
+
+    The store is a context manager; ``with ResultStore(p) as store:``
+    guarantees indexes and handles are flushed on the way out.
     """
 
-    def __init__(self, path: str | Path | None = None):
+    def __init__(
+        self, path: str | Path | None = None, *, backend: str | None = None
+    ):
         self.path = Path(path) if path is not None else None
-        self._records: dict[str, dict[str, Any]] = {}
-        self._handle: IO[str] | None = None
-        #: Records written under another schema version.  Their keys are
-        #: hashed with that version, so current lookups miss them and
-        #: everything re-simulates; they are dead weight until the file
-        #: is deleted (``repro-campaign status`` surfaces the count).
-        self.stale_records = 0
-        if self.path is not None and self.path.exists():
-            self._load()
+        self._backend: StoreBackend = open_backend(self.path, backend)
 
     # ------------------------------------------------------------------
-    def _load(self) -> None:
-        assert self.path is not None
-        with self.path.open("r", encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                except json.JSONDecodeError:
-                    continue  # truncated/corrupt line: treat as a miss
-                if (
-                    isinstance(record, dict)
-                    and isinstance(record.get("key"), str)
-                    and isinstance(record.get("result"), dict)
-                ):
-                    previous = self._records.get(record["key"])
-                    if record.get("store_version") != STORE_VERSION:
-                        self.stale_records += 1
-                    if (
-                        previous is not None
-                        and previous.get("store_version") != STORE_VERSION
-                    ):
-                        # A later line supersedes a stale one (a healed
-                        # record): the dead line no longer counts.
-                        self.stale_records -= 1
-                    self._records[record["key"]] = record
+    @property
+    def backend(self) -> str:
+        """The active backend kind (``memory``/``jsonl``/``sqlite``/
+        ``segment``)."""
+        return self._backend.kind
 
-    def _append(self, record: dict[str, Any]) -> None:
-        if self.path is None:
-            return
-        if self._handle is None:
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._handle = self.path.open("a", encoding="utf-8")
-        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
-        self._handle.flush()
+    @property
+    def supports_concurrent_writers(self) -> bool:
+        """Whether several processes may write this store at once."""
+        return self._backend.supports_concurrent_writers
+
+    @property
+    def stale_records(self) -> int:
+        """Records written under another schema version.  Their keys are
+        hashed with that version, so current lookups miss them and
+        everything re-simulates; they are dead weight until the store is
+        compacted (``repro-campaign status`` surfaces the count)."""
+        return self._backend.stale_count()
 
     # ------------------------------------------------------------------
     def get(self, key: str) -> dict[str, Any] | None:
@@ -113,7 +113,7 @@ class ResultStore:
         understand (the historical failure mode was a raw ``KeyError``
         deep inside dataset assembly).
         """
-        record = self._records.get(key)
+        record = self._backend.get_record(key)
         if record is None:
             return None
         written = record.get("store_version")
@@ -138,42 +138,115 @@ class ResultStore:
         any writer that recomputes without recalling first (the campaign
         engine itself never reaches this — :meth:`get` raises on such
         records and the documented recovery is deleting the file).  The
-        replacement is appended; loading is last-wins, so the healed
-        record takes effect across sessions too.
+        replacement becomes the effective record across sessions too
+        (append + last-wins on JSONL/segments, an upsert on SQLite).
         """
-        existing = self._records.get(key)
+        existing = self._backend.get_record(key)
         if existing is not None and existing.get("store_version") == STORE_VERSION:
             return
         if job_key(descriptor) != key:
             raise CampaignError("store key does not match the job descriptor")
-        if existing is not None:
-            self.stale_records = max(0, self.stale_records - 1)
-        record = {
-            "key": key,
-            "store_version": STORE_VERSION,
-            "job": descriptor,
-            "result": result,
-        }
-        self._records[key] = record
-        self._append(record)
+        self._backend.put_record(
+            {
+                "key": key,
+                "store_version": STORE_VERSION,
+                "job": descriptor,
+                "result": result,
+            }
+        )
+
+    def put_many(
+        self, items: list[tuple[str, dict[str, Any], dict[str, Any]]]
+    ) -> None:
+        """Bulk-insert ``(key, descriptor, result)`` triples.
+
+        The fast path for store population (migration, synthetic load
+        generation): records are batched into one backend write and
+        index flushing is deferred to :meth:`flush`/:meth:`close`.
+        Unlike :meth:`put`, existing keys are overwritten (callers bulk
+        load into fresh stores).
+        """
+        records = []
+        for key, descriptor, result in items:
+            if job_key(descriptor) != key:
+                raise CampaignError("store key does not match the job descriptor")
+            records.append(
+                {
+                    "key": key,
+                    "store_version": STORE_VERSION,
+                    "job": descriptor,
+                    "result": result,
+                }
+            )
+        self._backend.put_records(records)
+
+    def iter_records(self) -> Iterator[dict[str, Any]]:
+        """Stream every effective record (including other-version ones).
+
+        Records are ``{"key", "store_version", "job", "result"}`` dicts;
+        one per key, last-wins.  Unlike :meth:`get`, stale records are
+        yielded rather than raised on, so admin tooling (status,
+        migration, verification) can see them.
+        """
+        return self._backend.iter_records()
 
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        """Flush indexes and drop any open handles (idempotent)."""
+        self._backend.close()
+
+    def flush(self) -> None:
+        """Persist index state without dropping caches/handles."""
+        self._backend.flush()
+
+    def release(self) -> None:
+        """Flush and drop open handles — required before forking worker
+        pools (a forked SQLite connection shares POSIX locks)."""
+        self._backend.release()
+
+    def refresh(self) -> None:
+        """Pick up records written by other processes since open."""
+        self._backend.refresh()
+
+    def verify(self) -> list[dict[str, Any]]:
+        """Report damaged entries (``{"file", "where", "problem"}``).
+
+        Damage — truncated/corrupt lines, unreadable databases, garbled
+        index sidecars — always loads as misses; this names exactly
+        what is damaged so operators can decide whether to compact,
+        re-simulate or restore.
+        """
+        return self._backend.verify()
+
+    def compact(self) -> dict[str, int]:
+        """Drop superseded and other-schema-version records in place.
+
+        Returns ``{"kept": n, "dropped": m}``.  On JSONL/segment
+        backends this rewrites the files (reclaiming dead lines); on
+        SQLite it deletes stale rows and vacuums.
+        """
+        return self._backend.compact()
 
     # ------------------------------------------------------------------
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
     def __contains__(self, key: object) -> bool:
-        return key in self._records
+        return isinstance(key, str) and self._backend.contains(key)
 
     def __len__(self) -> int:
-        return len(self._records)
+        return self._backend.count()
 
     def summary(self) -> dict[str, Any]:
-        """Aggregate view for ``repro-campaign status``."""
+        """Aggregate view for ``repro-campaign status`` (streamed; never
+        materialises the whole store in memory on indexed backends)."""
         by_app: dict[str, int] = {}
         by_mode: dict[str, int] = {}
-        for record in self._records.values():
+        results = 0
+        for record in self.iter_records():
+            results += 1
             descriptor = record.get("job", {})
             app = str(descriptor.get("app", "?"))
             mode = str(descriptor.get("mode", "?"))
@@ -181,8 +254,65 @@ class ResultStore:
             by_mode[mode] = by_mode.get(mode, 0) + 1
         return {
             "path": str(self.path) if self.path is not None else None,
-            "results": len(self._records),
+            "backend": self.backend,
+            "results": results,
             "stale": self.stale_records,
             "apps": dict(sorted(by_app.items())),
             "modes": dict(sorted(by_mode.items())),
         }
+
+
+def migrate_store(
+    source: str | Path,
+    dest: str | Path,
+    *,
+    backend: str | None = None,
+    source_backend: str | None = None,
+) -> dict[str, Any]:
+    """Copy every record of ``source`` into a fresh store at ``dest``.
+
+    Records are carried over verbatim — payload bytes, descriptors and
+    per-record schema versions included — so ``get()`` payloads and
+    ``summary()`` (bar the path) are identical before and after.  The
+    destination backend is auto-detected from ``dest`` unless named.
+
+    Raises :class:`~repro.errors.CampaignError` for a pre-v2 source
+    store (records without a ``store_version`` field): their keys were
+    hashed under the old scheme and their payload layouts predate the
+    schema, so "migrating" them would only enshrine dead weight —
+    re-simulate into a fresh store instead.  Also refuses a non-empty
+    destination (migration never merges).
+    """
+    source_path = Path(source)
+    dest_path = Path(dest)
+    if not source_path.exists():
+        raise CampaignError(f"source store {source_path} does not exist")
+    if source_path.resolve() == dest_path.resolve():
+        raise CampaignError("source and destination stores are the same path")
+    with ResultStore(source_path, backend=source_backend) as src:
+        records = []
+        for record in src.iter_records():
+            if "store_version" not in record:
+                raise CampaignError(
+                    f"cannot migrate pre-v2 store {source_path}: record "
+                    f"{record['key']} carries no store_version (keys were "
+                    "hashed under the v1 scheme); re-simulate into a fresh "
+                    "store instead"
+                )
+            records.append(record)
+        with ResultStore(dest_path, backend=backend) as out:
+            if len(out) > 0:
+                raise CampaignError(
+                    f"refusing to migrate into non-empty store {dest_path} "
+                    f"({len(out)} records); migration never merges"
+                )
+            out._backend.put_records(records)
+            stale = out.stale_records
+            kind = out.backend
+    return {
+        "migrated": len(records),
+        "stale": stale,
+        "source": str(source_path),
+        "dest": str(dest_path),
+        "backend": kind,
+    }

@@ -17,6 +17,7 @@ sessions rebuild every model from disk without a single ADAM step.
 from __future__ import annotations
 
 import hashlib
+from pathlib import Path
 from typing import Any
 
 import numpy as np
@@ -99,14 +100,22 @@ def train_network_cached(
     targets: np.ndarray,
     *,
     config: TrainingConfig = TrainingConfig(),
-    store: ResultStore | None = None,
+    store: ResultStore | str | Path | None = None,
 ) -> TrainedModel:
     """Train, or recall bit-identical weights from the result store.
 
-    With ``store=None`` this is exactly :func:`train_network`.
+    With ``store=None`` this is exactly :func:`train_network`.  A path
+    (any store backend — JSONL, SQLite, segment directory) is opened
+    for the duration of the call and closed afterwards; an open
+    :class:`ResultStore` is used as-is and left open.
     """
     if store is None:
         return train_network(features, targets, config=config)
+    if not isinstance(store, ResultStore):
+        with ResultStore(store) as opened:
+            return train_network_cached(
+                features, targets, config=config, store=opened
+            )
     descriptor = training_descriptor(dataset_digest(features, targets), config)
     key = job_key(descriptor)
     cached = store.get(key)

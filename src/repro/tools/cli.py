@@ -251,7 +251,13 @@ def main_campaign(argv: list[str] | None = None) -> int:
     run_p.add_argument(
         "--store",
         default="campaign-store.jsonl",
-        help="result store path (JSON lines; created if missing)",
+        help="result store path (created if missing; backend auto-detected: "
+        "*.jsonl file, *.sqlite database, or a directory of segments)",
+    )
+    run_p.add_argument(
+        "--backend",
+        choices=("jsonl", "sqlite", "segment"),
+        help="force the store backend instead of auto-detecting from the path",
     )
     run_p.add_argument(
         "--workers",
@@ -261,6 +267,39 @@ def main_campaign(argv: list[str] | None = None) -> int:
 
     status_p = sub.add_parser("status", help="summarise a result store")
     status_p.add_argument(
+        "--store", default="campaign-store.jsonl", help="result store path"
+    )
+
+    store_p = sub.add_parser(
+        "store", help="maintain a result store (migrate/compact/verify)"
+    )
+    store_sub = store_p.add_subparsers(dest="store_command", required=True)
+
+    migrate_p = store_sub.add_parser(
+        "migrate",
+        help="copy a store into a fresh one on another backend",
+    )
+    migrate_p.add_argument("source", help="existing store (any backend)")
+    migrate_p.add_argument("dest", help="destination store path (must be fresh)")
+    migrate_p.add_argument(
+        "--backend",
+        choices=("jsonl", "sqlite", "segment"),
+        help="destination backend (default: auto-detect from the path)",
+    )
+
+    compact_p = store_sub.add_parser(
+        "compact",
+        help="drop superseded and other-schema-version records in place",
+    )
+    compact_p.add_argument(
+        "--store", default="campaign-store.jsonl", help="result store path"
+    )
+
+    verify_p = store_sub.add_parser(
+        "verify",
+        help="report damaged entries (exit 1 when any are found)",
+    )
+    verify_p.add_argument(
         "--store", default="campaign-store.jsonl", help="result store path"
     )
 
@@ -279,19 +318,23 @@ def _campaign_dispatch(args) -> int:
     from repro.campaign import CampaignEngine, ResultStore, job_key
 
     if args.command == "status":
-        store = ResultStore(args.store)
-        summary = store.summary()
-        print(f"store:   {summary['path']}")
+        with ResultStore(args.store) as store:
+            summary = store.summary()
+        print(f"store:   {summary['path']} ({summary['backend']})")
         print(f"results: {summary['results']}")
         if summary["stale"]:
             print(
                 f"stale:   {summary['stale']} record(s) from another store "
-                "schema version (dead weight; delete the file to reclaim)"
+                "schema version (dead weight; run "
+                "`repro-campaign store compact` to reclaim)"
             )
         if summary["results"]:
             _print_breakdown("by mode", summary["modes"])
             _print_breakdown("by app", summary["apps"])
         return 0
+
+    if args.command == "store":
+        return _store_dispatch(args)
 
     plan = _campaign_plan(args)
     description = plan.describe()
@@ -301,24 +344,67 @@ def _campaign_dispatch(args) -> int:
         _print_breakdown("by mode", description["modes"])
         _print_breakdown("by app", description["apps"])
         if args.store:
-            store = ResultStore(args.store)
-            cached = sum(
-                1 for job in plan if job_key(job.descriptor()) in store
-            )
+            with ResultStore(args.store) as store:
+                cached = sum(
+                    1 for job in plan if job_key(job.descriptor()) in store
+                )
             print(f"already cached:   {cached} / {description['jobs']}")
         return 0
 
-    store = ResultStore(args.store)
-    engine = CampaignEngine(store=store, max_workers=args.workers)
-    print(f"running {description['jobs']} jobs "
-          f"({', '.join(f'{m}: {n}' for m, n in description['modes'].items())})")
-    results = engine.run(plan)
-    report = results.report
-    print(f"cache hits:      {report.cached}")
-    print(f"new simulations: {report.executed} "
-          f"(workers: {report.workers})")
-    print(f"store now holds {len(store)} results at {store.path}")
+    with ResultStore(args.store, backend=args.backend) as store:
+        engine = CampaignEngine(store=store, max_workers=args.workers)
+        print(
+            f"running {description['jobs']} jobs "
+            f"({', '.join(f'{m}: {n}' for m, n in description['modes'].items())})"
+        )
+        results = engine.run(plan)
+        report = results.report
+        print(f"cache hits:      {report.cached}")
+        print(f"new simulations: {report.executed} "
+              f"(workers: {report.workers})")
+        print(f"store now holds {len(store)} results at {store.path} "
+              f"({store.backend})")
     return 0
+
+
+def _store_dispatch(args) -> int:
+    """``repro-campaign store {migrate,compact,verify}``."""
+    from repro.campaign import ResultStore, migrate_store
+
+    if args.store_command == "migrate":
+        stats = migrate_store(args.source, args.dest, backend=args.backend)
+        print(
+            f"migrated {stats['migrated']} record(s) from {stats['source']} "
+            f"to {stats['dest']} ({stats['backend']})"
+        )
+        if stats["stale"]:
+            print(
+                f"carried over {stats['stale']} stale record(s) from another "
+                "schema version (run `store compact` on the new store to drop)"
+            )
+        return 0
+
+    if args.store_command == "compact":
+        with ResultStore(args.store) as store:
+            stats = store.compact()
+        print(
+            f"compacted {args.store}: kept {stats['kept']} record(s), "
+            f"dropped {stats['dropped']} superseded/stale line(s)"
+        )
+        return 0
+
+    # verify
+    with ResultStore(args.store) as store:
+        issues = store.verify()
+        results = len(store)
+    if not issues:
+        print(f"{args.store}: ok ({results} readable records, no damage)")
+        return 0
+    print(f"{args.store}: {len(issues)} damaged entr(y/ies)")
+    for issue in issues:
+        print(f"  {issue['file']} [{issue['where']}]: {issue['problem']}")
+    print("damaged entries load as misses; re-run the campaign to heal them")
+    return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

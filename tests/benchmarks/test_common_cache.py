@@ -42,7 +42,9 @@ def test_artefacts_reused_across_two_invocations(harness_cache):
     first_engine = common.campaign_engine()
     first = small_artefact()
     assert first_engine.total_executed == 34  # 3 counter runs + 31 sweep
-    assert (harness_cache / "campaign-store.jsonl").exists()
+    # Fresh cache directories get the indexed SQLite backend.
+    assert first_engine.store.backend == "sqlite"
+    assert (harness_cache / "campaign-store.sqlite").exists()
 
     # Session two: fresh engine + store over the same directory.
     first_engine.store.close()

@@ -164,3 +164,84 @@ class TestCommittedBaselines:
         ):
             path = self.BASELINES / name
             assert gate.main([str(path), str(path)]) == 0
+
+
+def store_report(
+    sqlite_recall: float = 100.0,
+    sqlite_open: float = 100.0,
+    segment_recall: float = 20.0,
+    segment_open: float = 50.0,
+    identical: bool = True,
+) -> dict:
+    return {
+        "benchmark": "store_scale",
+        "backends": {
+            "jsonl": {"cold_open_s": 1.0, "recall_s": 1.0},
+            "sqlite": {
+                "recall_speedup": sqlite_recall,
+                "cold_open_speedup": sqlite_open,
+            },
+            "segment": {
+                "recall_speedup": segment_recall,
+                "cold_open_speedup": segment_open,
+            },
+        },
+        "payloads_identical": identical,
+    }
+
+
+class TestStoreScaleGate:
+    def test_passes_when_equal(self, tmp_path):
+        current = write(tmp_path / "a.json", store_report())
+        baseline = write(tmp_path / "b.json", store_report())
+        assert gate.main([str(current), str(baseline)]) == 0
+
+    def test_fails_on_sqlite_recall_slowdown(self, tmp_path):
+        current = write(tmp_path / "a.json", store_report(sqlite_recall=30.0))
+        baseline = write(tmp_path / "b.json", store_report(sqlite_recall=100.0))
+        assert gate.main([str(current), str(baseline)]) == 1
+
+    def test_fails_on_segment_cold_open_slowdown(self, tmp_path):
+        current = write(tmp_path / "a.json", store_report(segment_open=10.0))
+        baseline = write(tmp_path / "b.json", store_report(segment_open=50.0))
+        assert gate.main([str(current), str(baseline)]) == 1
+
+    def test_fails_when_payloads_diverge(self, tmp_path):
+        current = write(tmp_path / "a.json", store_report(identical=False))
+        baseline = write(tmp_path / "b.json", store_report())
+        assert gate.main([str(current), str(baseline)]) == 1
+
+
+class TestStoreScaleBaselines:
+    BASELINES = Path(__file__).resolve().parents[2] / "benchmarks" / "baselines"
+
+    def test_committed_million_record_baseline(self):
+        """The ISSUE 6 acceptance numbers, pinned at baseline time:
+        >= 10x warm recall-by-key and >= 5x cold open at 10^6 records
+        for both indexed backends over JSONL."""
+        report = json.loads((self.BASELINES / "store-scale.json").read_text())
+        assert report["benchmark"] == "store_scale"
+        assert report["records"] == 1_000_000
+        for backend in ("sqlite", "segment"):
+            entry = report["backends"][backend]
+            assert entry["recall_speedup"] >= 10, backend
+            assert entry["cold_open_speedup"] >= 5, backend
+        assert report["payloads_identical"] is True
+
+    def test_committed_smoke_baseline(self):
+        """The reduced configuration CI gates every push against."""
+        report = json.loads(
+            (self.BASELINES / "store-scale-smoke.json").read_text()
+        )
+        assert report["benchmark"] == "store_scale"
+        assert report["records"] == 100_000
+        for backend in ("sqlite", "segment"):
+            entry = report["backends"][backend]
+            assert entry["recall_speedup"] > 1, backend
+            assert entry["cold_open_speedup"] > 1, backend
+        assert report["payloads_identical"] is True
+
+    def test_gate_passes_against_themselves(self):
+        for name in ("store-scale.json", "store-scale-smoke.json"):
+            path = self.BASELINES / name
+            assert gate.main([str(path), str(path)]) == 0

@@ -81,3 +81,90 @@ class TestStatusCommand:
     def test_status_on_missing_store_is_empty(self, capsys, tmp_path):
         out = run_cli(capsys, "status", "--store", str(tmp_path / "nope.jsonl"))
         assert "results: 0" in out
+
+
+class TestBackendFlag:
+    @pytest.mark.parametrize("backend, name", [
+        ("sqlite", "store.sqlite"),
+        ("segment", "store-segments"),
+    ])
+    def test_run_with_indexed_backend(self, capsys, tmp_path, backend, name):
+        store = tmp_path / name
+        out = run_cli(
+            capsys,
+            "run", "--benchmarks", "EP", "--campaign", "static",
+            "--threads", "24", "--stride", "9",
+            "--store", str(store), "--backend", backend, "--workers", "1",
+        )
+        assert f"({backend})" in out
+        out = run_cli(capsys, "status", "--store", str(store))
+        assert "results: 5" in out and f"({backend})" in out
+        # Second run over the same store is pure cache hits.
+        out = run_cli(
+            capsys,
+            "run", "--benchmarks", "EP", "--campaign", "static",
+            "--threads", "24", "--stride", "9",
+            "--store", str(store), "--workers", "1",
+        )
+        assert "cache hits:      5" in out
+        assert "new simulations: 0" in out
+
+
+class TestStoreSubcommands:
+    def seed_store(self, capsys, tmp_path, name="store.jsonl"):
+        store = tmp_path / name
+        run_cli(
+            capsys,
+            "run", "--benchmarks", "EP", "--campaign", "static",
+            "--threads", "24", "--stride", "9",
+            "--store", str(store), "--workers", "1",
+        )
+        return store
+
+    def test_migrate_jsonl_to_sqlite(self, capsys, tmp_path):
+        source = self.seed_store(capsys, tmp_path)
+        dest = tmp_path / "migrated.sqlite"
+        out = run_cli(capsys, "store", "migrate", str(source), str(dest))
+        assert "migrated 5 record(s)" in out and "(sqlite)" in out
+        out = run_cli(capsys, "status", "--store", str(dest))
+        assert "results: 5" in out and "(sqlite)" in out
+
+    def test_migrate_explicit_backend_flag(self, capsys, tmp_path):
+        source = self.seed_store(capsys, tmp_path)
+        dest = tmp_path / "migrated-anywhere"
+        out = run_cli(
+            capsys, "store", "migrate", str(source), str(dest),
+            "--backend", "segment",
+        )
+        assert "(segment)" in out and dest.is_dir()
+
+    def test_migrate_refusal_prints_clean_error(self, capsys, tmp_path):
+        source = tmp_path / "pre-v2.jsonl"
+        source.write_text('{"key": "ab", "job": {}, "result": {}}\n')
+        assert main_campaign(
+            ["store", "migrate", str(source), str(tmp_path / "d.sqlite")]
+        ) == 2  # library-error exit code, like every other subcommand
+        err = capsys.readouterr().err
+        assert "pre-v2" in err and "Traceback" not in err
+
+    def test_compact_reports_dropped_lines(self, capsys, tmp_path):
+        source = self.seed_store(capsys, tmp_path)
+        lines = source.read_text()
+        source.write_text(lines + lines)  # duplicate every record line
+        out = run_cli(capsys, "store", "compact", "--store", str(source))
+        assert "kept 5 record(s)" in out
+        assert "dropped 5" in out
+
+    def test_verify_clean_store(self, capsys, tmp_path):
+        source = self.seed_store(capsys, tmp_path)
+        out = run_cli(capsys, "store", "verify", "--store", str(source))
+        assert "ok (5 readable records, no damage)" in out
+
+    def test_verify_damaged_store_exits_nonzero(self, capsys, tmp_path):
+        source = self.seed_store(capsys, tmp_path)
+        with source.open("a") as fh:
+            fh.write('{"torn half-record')
+        assert main_campaign(["store", "verify", "--store", str(source)]) == 1
+        out = capsys.readouterr().out
+        assert "1 damaged entr" in out
+        assert "line 6" in out and "unparseable" in out

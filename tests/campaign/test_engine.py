@@ -354,3 +354,43 @@ class TestConsumerEquivalence:
             exhaustive_static_search(app, cluster, node_id=99)
         with pytest.raises(JobError):
             build_dataset(("EP",), cluster=cluster, node_id=99)
+
+
+class TestDirectWorkerWrites:
+    """On concurrent-writer backends (SQLite, segments) pool workers
+    persist their own results instead of funneling through the parent;
+    results must stay bit-identical to the serial JSONL path."""
+
+    @pytest.mark.parametrize("name, backend", [
+        ("store.sqlite", "sqlite"),
+        ("store-segments", "segment"),
+    ])
+    def test_pool_direct_writes_bit_identical_to_serial(
+        self, tmp_path, name, backend
+    ):
+        plan = small_plan()
+        serial = CampaignEngine(max_workers=1).run(plan)
+        with ResultStore(tmp_path / name, backend=backend) as store:
+            engine = CampaignEngine(store=store, max_workers=2)
+            assert engine._direct_write()
+            parallel = engine.run(plan)
+            assert parallel.report.executed == len(plan)
+            for job in plan:
+                assert parallel[job] == serial[job]
+            # The workers, not the parent, persisted every record.
+            assert len(store) == len(plan)
+        # A fresh session recalls everything from the worker-written store.
+        with ResultStore(tmp_path / name) as reopened:
+            fresh = CampaignEngine(store=reopened, max_workers=1)
+            second = fresh.run(plan)
+            assert second.report.executed == 0
+            assert second.report.cached == len(plan)
+            for job in plan:
+                assert second[job] == serial[job]
+
+    def test_jsonl_store_keeps_parent_funnel(self, tmp_path):
+        with ResultStore(tmp_path / "store.jsonl") as store:
+            engine = CampaignEngine(store=store, max_workers=2)
+            assert not engine._direct_write()
+            engine.run(small_plan())
+            assert len(store) == len(small_plan())

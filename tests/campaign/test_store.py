@@ -189,3 +189,57 @@ class TestResultStore:
         key = job_key(job.descriptor())
         store.put(key, job.descriptor(), {"time_s": 1.0})
         assert path.exists()
+
+
+class TestLifecycle:
+    """Handle hygiene: the store is a context manager and never leaks
+    open file handles (the historical close() left one dangling)."""
+
+    def test_context_manager_closes(self, tmp_path, job):
+        key = job_key(job.descriptor())
+        with ResultStore(tmp_path / "store.jsonl") as store:
+            store.put(key, job.descriptor(), {"time_s": 1.0})
+        with ResultStore(tmp_path / "store.jsonl") as reopened:
+            assert reopened.get(key) == {"time_s": 1.0}
+
+    def test_close_is_idempotent(self, tmp_path, job):
+        store = ResultStore(tmp_path / "store.jsonl")
+        store.put(job_key(job.descriptor()), job.descriptor(), {"time_s": 1.0})
+        store.close()
+        store.close()
+
+    @pytest.mark.filterwarnings("error::ResourceWarning")
+    def test_no_resource_warning_on_any_backend(self, tmp_path, job):
+        import gc
+
+        key = job_key(job.descriptor())
+        for name, backend in (
+            ("store.jsonl", "jsonl"),
+            ("store.sqlite", "sqlite"),
+            ("store-segments", "segment"),
+        ):
+            store = ResultStore(tmp_path / name, backend=backend)
+            store.put(key, job.descriptor(), {"time_s": 1.0})
+            assert store.get(key) == {"time_s": 1.0}
+            store.close()
+            del store
+            gc.collect()  # a leaked handle would warn here, becoming an error
+
+    def test_iter_records_streams_full_records(self, tmp_path, job):
+        with ResultStore(tmp_path / "store.jsonl") as store:
+            key = job_key(job.descriptor())
+            store.put(key, job.descriptor(), {"time_s": 1.0})
+            records = list(store.iter_records())
+        assert records == [
+            {
+                "key": key,
+                "store_version": STORE_VERSION,
+                "job": job.descriptor(),
+                "result": {"time_s": 1.0},
+            }
+        ]
+
+    def test_put_many_rejects_mismatched_key(self, tmp_path, job):
+        with ResultStore(tmp_path / "store.jsonl") as store:
+            with pytest.raises(CampaignError, match="does not match"):
+                store.put_many([("0" * 32, job.descriptor(), {"time_s": 1.0})])

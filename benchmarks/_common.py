@@ -26,7 +26,13 @@ counted by ``repro-campaign status``; delete the file to reclaim the
 space).  An entry that *is* recalled but does not match the current
 result schema surfaces as a clear
 :class:`~repro.errors.CampaignError` naming the store file to delete —
-never as a raw ``KeyError`` inside dataset assembly.
+never as a raw ``KeyError`` inside dataset assembly.  The same holds
+for quarantined jobs (persisted
+:class:`~repro.campaign.resilience.FailureRecord` entries left by an
+earlier ``--on-failure quarantine`` run): an artefact build whose plan
+touches one fails up front with a CampaignError naming the job and
+advising ``retry_failed=True`` / deleting the cache, instead of
+crashing inside dataset assembly.
 
 Training configuration mirrors Section V-B: the deployed model trains on
 the 14 training benchmarks for ten epochs; the LOOCV study retrains with

@@ -44,6 +44,13 @@ from repro.campaign.engine import (
     run_app_jobs,
     topology_job_key,
 )
+from repro.campaign.resilience import (
+    ON_FAILURE_POLICIES,
+    FailureRecord,
+    ResumeManifest,
+    RetryPolicy,
+    failure_descriptor,
+)
 from repro.campaign.plan import (
     CampaignJob,
     CampaignPlan,
@@ -76,9 +83,14 @@ __all__ = [
     "CampaignPlan",
     "CampaignReport",
     "CampaignResults",
+    "FailureRecord",
+    "ON_FAILURE_POLICIES",
     "ResultStore",
+    "ResumeManifest",
+    "RetryPolicy",
     "STORE_VERSION",
     "StoreBackend",
+    "failure_descriptor",
     "counter_jobs",
     "default_worker_count",
     "detect_backend_kind",

@@ -40,11 +40,30 @@ import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence
 
+from repro.campaign.faultinject import maybe_fault
 from repro.campaign.plan import CampaignJob, CampaignPlan
+from repro.campaign.resilience import (
+    ON_FAILURE_POLICIES,
+    DrainFlag,
+    FailureRecord,
+    PoolOutcome,
+    ResumeManifest,
+    RetryPolicy,
+    failure_descriptor,
+    graceful_drain,
+    run_resilient_pool,
+    run_resilient_serial,
+)
 from repro.campaign.store import ResultStore, job_key
-from repro.errors import CampaignError, WorkloadError
+from repro.errors import (
+    CampaignError,
+    CampaignExecutionError,
+    CampaignInterrupted,
+    WorkloadError,
+)
 from repro.execution.simulator import ExecutionSimulator
 from repro.hardware.cluster import Cluster
 from repro.hardware.node import ComputeNode
@@ -260,6 +279,25 @@ def execute_job(
     }
 
 
+def execute_job_faulted(
+    job: CampaignJob,
+    topology: NodeTopology | None,
+    index: int | None,
+    attempt: int = 0,
+) -> dict[str, Any]:
+    """:func:`execute_job` with a fault-injection checkpoint.
+
+    The engine's execution paths route through this wrapper so the
+    deterministic fault harness (:mod:`repro.campaign.faultinject`) can
+    target a job by (app, mode, pending index, attempt).  A no-op
+    passthrough when ``REPRO_FAULT_INJECT`` is unset.
+    """
+    maybe_fault(
+        "execute", app=job.app, mode=job.mode, index=index, attempt=attempt
+    )
+    return execute_job(job, topology)
+
+
 #: Per-process store instances for direct-writing pool workers, keyed
 #: by (pid, path) — the pid guard matters under fork, where a parent's
 #: populated cache is inherited verbatim and must not be reused.
@@ -282,6 +320,8 @@ def execute_job_stored(
     store_backend: str,
     key: str,
     descriptor: dict[str, Any],
+    index: int | None = None,
+    attempt: int = 0,
 ) -> dict[str, Any]:
     """Run one job in a pool worker and persist its result directly.
 
@@ -290,9 +330,14 @@ def execute_job_stored(
     through the parent — an interrupted campaign keeps every finished
     job even if the parent dies before collecting futures.  The worker
     flushes after each put, so index sidecars stay current without the
-    worker ever having to close the store.
+    worker ever having to close the store.  A retried job whose earlier
+    attempt persisted before crashing re-puts the same key, which the
+    store no-ops (payloads are bit-identical by construction).
     """
-    payload = execute_job(job, topology)
+    payload = execute_job_faulted(job, topology, index, attempt)
+    maybe_fault(
+        "store", app=job.app, mode=job.mode, index=index, attempt=attempt
+    )
     store = _worker_store(store_path, store_backend)
     store.put(key, descriptor, payload)
     store.flush()
@@ -301,12 +346,21 @@ def execute_job_stored(
 
 @dataclass(frozen=True)
 class CampaignReport:
-    """What one :meth:`CampaignEngine.run` call did."""
+    """What one :meth:`CampaignEngine.run` call did.
+
+    ``executed`` counts *successful* fresh simulations; ``failed`` the
+    jobs that definitively failed this run (after retries), and
+    ``quarantined`` the jobs skipped because an earlier run persisted a
+    failure record for them.  ``retried`` counts retry re-submissions.
+    """
 
     planned: int
     cached: int
     executed: int
     workers: int
+    failed: int = 0
+    quarantined: int = 0
+    retried: int = 0
 
 
 def qualified_descriptor(
@@ -330,31 +384,51 @@ def topology_job_key(job: CampaignJob, topology: NodeTopology | None) -> str:
 
 
 class CampaignResults:
-    """Job-addressable payloads from one engine run."""
+    """Job-addressable payloads (and failures) from one engine run.
+
+    With ``on_failure="quarantine"`` or ``"skip"`` a run completes with
+    partial results: :attr:`failures` maps the store keys of failed or
+    quarantined jobs to their :class:`FailureRecord`, and indexing such
+    a job raises a :class:`CampaignError` naming the job and the remedy
+    instead of a bare missing-key error.
+    """
 
     def __init__(
         self,
         payloads: dict[str, dict[str, Any]],
         report: CampaignReport,
         topology: NodeTopology | None = None,
+        failures: dict[str, FailureRecord] | None = None,
     ):
         self._payloads = payloads
         self._topology = topology
         self.report = report
+        self.failures = failures or {}
 
     def __len__(self) -> int:
         return len(self._payloads)
+
+    def failure_for(self, job: CampaignJob | str) -> FailureRecord | None:
+        """The failure record for a job, or ``None`` if it succeeded."""
+        key = job if isinstance(job, str) else topology_job_key(job, self._topology)
+        return self.failures.get(key)
 
     def __getitem__(self, job: CampaignJob | str) -> dict[str, Any]:
         key = job if isinstance(job, str) else topology_job_key(job, self._topology)
         try:
             return self._payloads[key]
         except KeyError:
+            record = self.failures.get(key)
+            if record is not None:
+                raise CampaignError(
+                    f"job {key} has no result: {record.describe()}; re-run "
+                    "with retry_failed=True (CLI: --retry-failed) to retry it"
+                ) from None
             raise CampaignError(f"no result for job key {key}") from None
 
 
 class CampaignEngine:
-    """Executes campaign plans with caching and optional parallelism.
+    """Executes campaign plans with caching, parallelism and resilience.
 
     ``max_workers=None`` auto-sizes the pool (see
     :func:`default_worker_count`); ``0`` or ``1`` forces serial
@@ -362,6 +436,14 @@ class CampaignEngine:
     cached jobs are never re-simulated and fresh results are persisted
     as they are collected, so an interrupted campaign keeps its
     completed work.
+
+    ``retry_policy`` governs fault tolerance (see
+    :class:`~repro.campaign.resilience.RetryPolicy`): transient
+    failures — worker death, per-job timeouts, I/O errors — are retried
+    with deterministic seeded backoff and the pool is respawned as
+    needed; deterministic failures fail fast.  What happens to a job
+    that definitively fails is the per-run ``on_failure`` policy of
+    :meth:`run`.
     """
 
     def __init__(
@@ -370,20 +452,49 @@ class CampaignEngine:
         store: ResultStore | None = None,
         max_workers: int | None = None,
         topology: NodeTopology | None = None,
+        retry_policy: RetryPolicy | None = None,
     ):
         self.store = store
         self.max_workers = max_workers
         self.topology = topology
+        self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
         self.total_executed = 0
         self.total_cached = 0
 
     # ------------------------------------------------------------------
-    def run(self, plan: CampaignPlan | Iterable[CampaignJob]) -> CampaignResults:
-        """Execute (or recall) every job of ``plan``."""
+    def run(
+        self,
+        plan: CampaignPlan | Iterable[CampaignJob],
+        *,
+        on_failure: str = "raise",
+        retry_failed: bool = False,
+        resume_manifest: str | Path | None = None,
+    ) -> CampaignResults:
+        """Execute (or recall) every job of ``plan``.
+
+        ``on_failure`` decides what a definitive job failure does:
+        ``"raise"`` (the default) aborts with a
+        :class:`CampaignExecutionError` carrying partial results,
+        ``"quarantine"`` records a :class:`FailureRecord` in the store
+        (re-runs then skip the job until ``retry_failed=True``) and
+        completes with partial results, ``"skip"`` completes with
+        partial results without persisting anything about the failure.
+
+        SIGINT/SIGTERM drain the run: in-flight jobs finish and are
+        persisted, a :class:`ResumeManifest` is written to
+        ``resume_manifest`` (when given), and
+        :class:`CampaignInterrupted` is raised.
+        """
+        if on_failure not in ON_FAILURE_POLICIES:
+            raise CampaignError(
+                f"unknown on_failure policy: {on_failure!r}; "
+                f"known: {ON_FAILURE_POLICIES}"
+            )
         if not isinstance(plan, CampaignPlan):
             plan = CampaignPlan(tuple(plan))
         payloads: dict[str, dict[str, Any]] = {}
         pending: list[tuple[str, CampaignJob]] = []
+        quarantined: dict[str, FailureRecord] = {}
         store_path = (
             str(self.store.path)
             if self.store is not None and self.store.path is not None
@@ -395,27 +506,118 @@ class CampaignEngine:
             if cached is not None:
                 validate_payload(job, cached, source=store_path)
                 payloads[key] = cached
-            else:
-                pending.append((key, job))
+                continue
+            if self.store is not None and not retry_failed:
+                record = self._quarantine_record(job)
+                if record is not None:
+                    quarantined[key] = record
+                    continue
+            pending.append((key, job))
 
-        cached_count = len(plan) - len(pending)
+        if quarantined and on_failure == "raise":
+            listed = "; ".join(
+                f"{key}: {record.describe()}"
+                for key, record in sorted(quarantined.items())
+            )
+            raise CampaignExecutionError(
+                f"{len(quarantined)} job(s) of this plan are quarantined in "
+                f"{store_path} from an earlier run — {listed}.  Re-run with "
+                "retry_failed=True (CLI: --retry-failed) to retry them, or "
+                "use on_failure='quarantine' to proceed with partial results",
+                failures=quarantined,
+            )
+
+        cached_count = len(plan) - len(pending) - len(quarantined)
         workers = self._worker_count(len(pending))
-        if workers > 1:
-            self._run_pool(pending, workers, payloads)
-        else:
-            for key, job in pending:
-                payloads[key] = execute_job(job, self.topology)
-                self._persist(key, job, payloads[key])
+        drain = DrainFlag()
+        with graceful_drain(drain):
+            outcome = self._execute_pending(
+                pending, workers, payloads, on_failure, drain
+            )
 
-        self.total_executed += len(pending)
+        jobs_by_key = dict(pending)
+        failed: dict[str, FailureRecord] = {}
+        for key, task_failure in outcome.failures.items():
+            job = jobs_by_key[key]
+            failed[key] = FailureRecord(
+                job_store_key=key,
+                app=job.app,
+                mode=job.mode,
+                error_type=type(task_failure.exception).__name__,
+                error_message=str(task_failure.exception),
+                kind=task_failure.kind,
+                attempts=task_failure.attempts,
+            )
+        if on_failure == "quarantine" and self.store is not None:
+            for key, record in failed.items():
+                descriptor = failure_descriptor(self._descriptor(jobs_by_key[key]))
+                self.store.put(job_key(descriptor), descriptor, record.payload())
+
+        self.total_executed += len(outcome.results)
         self.total_cached += cached_count
         report = CampaignReport(
             planned=len(plan),
             cached=cached_count,
-            executed=len(pending),
+            executed=len(outcome.results),
             workers=workers,
+            failed=len(failed),
+            quarantined=len(quarantined),
+            retried=outcome.retried,
         )
-        return CampaignResults(payloads, report, topology=self.topology)
+        all_failures = {**quarantined, **failed}
+
+        manifest_path = Path(resume_manifest) if resume_manifest else None
+        if outcome.drained:
+            manifest = ResumeManifest(
+                store=(
+                    str(self.store.path)
+                    if self.store is not None and self.store.path is not None
+                    else None
+                ),
+                planned=len(plan),
+                completed=tuple(sorted(payloads)),
+                quarantined=tuple(sorted(all_failures)),
+                pending=tuple(
+                    sorted(
+                        key
+                        for key, _ in pending
+                        if key not in payloads and key not in all_failures
+                    )
+                ),
+                signal_name=drain.signal_name,
+            )
+            written = manifest.save(manifest_path) if manifest_path else None
+            raise CampaignInterrupted(
+                f"campaign drained on {drain.signal_name}: {len(payloads)} of "
+                f"{len(plan)} job(s) completed and persisted"
+                + (f"; resume manifest at {written}" if written else ""),
+                signal_name=drain.signal_name,
+                completed=len(payloads),
+                planned=len(plan),
+                manifest=str(written) if written else None,
+            )
+        if manifest_path is not None and manifest_path.exists():
+            manifest_path.unlink()  # the campaign outran its manifest
+
+        if failed and on_failure == "raise":
+            first = outcome.failures[next(iter(outcome.failures))]
+            where = (
+                f"completed payloads persisted to {store_path}"
+                if self.store is not None
+                else "completed payloads attached to this error (no store)"
+            )
+            summary = "; ".join(r.describe() for r in failed.values())
+            raise CampaignExecutionError(
+                f"{len(failed)} of {len(pending)} pending job(s) failed "
+                f"({summary}); {len(payloads)} of {len(plan)} planned job(s) "
+                f"completed, {where}; {len(outcome.not_run)} never ran",
+                completed=payloads,
+                failures=failed,
+                not_run=outcome.not_run,
+            ) from first.exception
+        return CampaignResults(
+            payloads, report, topology=self.topology, failures=all_failures
+        )
 
     # ------------------------------------------------------------------
     def _descriptor(self, job: CampaignJob) -> dict[str, Any]:
@@ -452,54 +654,104 @@ class CampaignEngine:
             and self.store.supports_concurrent_writers
         )
 
-    def _run_pool(
+    def _quarantine_record(self, job: CampaignJob) -> FailureRecord | None:
+        """The persisted failure record for ``job``, if any.
+
+        Checked only after the result-cache lookup misses: a job that
+        eventually succeeded (e.g. after ``retry_failed``) hits the
+        result cache first, so its stale failure record is harmless.
+        """
+        descriptor = failure_descriptor(self._descriptor(job))
+        payload = self.store.get(job_key(descriptor))
+        if payload is None:
+            return None
+        return FailureRecord.from_payload(payload)
+
+    def _execute_pending(
         self,
         pending: list[tuple[str, CampaignJob]],
         workers: int,
         payloads: dict[str, dict[str, Any]],
-    ) -> None:
-        """Fan the pending jobs out across a process pool.
+        on_failure: str,
+        drain: DrainFlag,
+    ) -> PoolOutcome:
+        """Run the uncached jobs through the resilient execution loops.
 
         On a concurrent-writer backend, workers persist their own
         results (:func:`execute_job_stored`); the parent releases its
         handles before forking — a forked SQLite connection shares
-        POSIX locks — and refreshes afterwards so recalls see the
-        worker-written records.  On the JSONL tier, results funnel
-        through the parent's single writer as before.
+        POSIX locks — and refreshes afterwards (in a ``finally``: even
+        a raising run must leave the parent store rehydrated, never
+        with released handles) so recalls see the worker-written
+        records.  On the JSONL tier, results funnel through the
+        parent's single writer as before.
         """
+        if not pending:
+            return PoolOutcome()
+        jobs_by_key = dict(pending)
+        stop_on_failure = on_failure == "raise"
+        if workers <= 1:
+            tasks = [
+                (key, execute_job_faulted, (job, self.topology, index))
+                for index, (key, job) in enumerate(pending)
+            ]
+
+            def on_success_serial(key: str, payload: dict[str, Any]) -> None:
+                payloads[key] = payload
+                self._persist(key, jobs_by_key[key], payload)
+
+            return run_resilient_serial(
+                tasks,
+                policy=self.retry_policy,
+                on_success=on_success_serial,
+                stop_on_failure=stop_on_failure,
+                drain=drain,
+            )
+
         direct = self._direct_write()
         if direct:
-            self.store.release()
-        with self._pool(workers) as pool:
-            if direct:
-                path, backend = str(self.store.path), self.store.backend
-                futures = [
+            path, backend = str(self.store.path), self.store.backend
+            tasks = [
+                (
+                    key,
+                    execute_job_stored,
                     (
-                        key,
                         job,
-                        pool.submit(
-                            execute_job_stored,
-                            job,
-                            self.topology,
-                            path,
-                            backend,
-                            key,
-                            self._descriptor(job),
-                        ),
-                    )
-                    for key, job in pending
-                ]
-            else:
-                futures = [
-                    (key, job, pool.submit(execute_job, job, self.topology))
-                    for key, job in pending
-                ]
-            for key, job, future in futures:
-                payloads[key] = future.result()
-                if not direct:
-                    self._persist(key, job, payloads[key])
-        if direct:
-            self.store.refresh()
+                        self.topology,
+                        path,
+                        backend,
+                        key,
+                        self._descriptor(job),
+                        index,
+                    ),
+                )
+                for index, (key, job) in enumerate(pending)
+            ]
+            self.store.release()
+        else:
+            tasks = [
+                (key, execute_job_faulted, (job, self.topology, index))
+                for index, (key, job) in enumerate(pending)
+            ]
+
+        def on_success(key: str, payload: dict[str, Any]) -> None:
+            payloads[key] = payload
+            if not direct:
+                self._persist(key, jobs_by_key[key], payload)
+
+        try:
+            return run_resilient_pool(
+                tasks,
+                workers=workers,
+                pool_factory=self._pool,
+                policy=self.retry_policy,
+                on_success=on_success,
+                stop_on_failure=stop_on_failure,
+                drain=drain,
+            )
+        finally:
+            if direct:
+                self.store.refresh()
 
     # ------------------------------------------------------------------
     def map_tasks(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list:
@@ -512,6 +764,12 @@ class CampaignEngine:
         honoured; results come back in item order, making the serial
         fallback (``max_workers`` of 0/1, or a single item)
         indistinguishable from the pool.
+
+        Mapped tasks ride the engine's resilience layer: transient
+        failures (worker death, per-job timeouts) are retried under the
+        engine's :class:`RetryPolicy` with pool respawn, and the first
+        definitive failure re-raises the original exception — map items
+        are not store-addressable, so there is no quarantine tier here.
         """
         items = list(items)
         if self.max_workers is not None:
@@ -520,8 +778,19 @@ class CampaignEngine:
             workers = min(default_worker_count(), len(items))
         if workers <= 1 or len(items) < 2:
             return [fn(item) for item in items]
-        with self._pool(workers) as pool:
-            return list(pool.map(fn, items))
+        tasks = [(index, fn, (item,)) for index, item in enumerate(items)]
+        outcome = run_resilient_pool(
+            tasks,
+            workers=workers,
+            pool_factory=self._pool,
+            policy=self.retry_policy,
+            pass_attempt=False,
+            stop_on_failure=True,
+        )
+        if outcome.failures:
+            first = outcome.failures[min(outcome.failures)]
+            raise first.exception
+        return [outcome.results[index] for index in range(len(items))]
 
 
 # ---------------------------------------------------------------------------

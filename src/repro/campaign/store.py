@@ -241,15 +241,26 @@ class ResultStore:
 
     def summary(self) -> dict[str, Any]:
         """Aggregate view for ``repro-campaign status`` (streamed; never
-        materialises the whole store in memory on indexed backends)."""
+        materialises the whole store in memory on indexed backends).
+
+        Quarantine records (persisted
+        :class:`~repro.campaign.resilience.FailureRecord` entries,
+        descriptor mode ``"failure"``) are counted separately as
+        ``"quarantined"`` and kept out of the result breakdowns — they
+        describe jobs with *no* result.
+        """
         by_app: dict[str, int] = {}
         by_mode: dict[str, int] = {}
         results = 0
+        quarantined = 0
         for record in self.iter_records():
-            results += 1
             descriptor = record.get("job", {})
-            app = str(descriptor.get("app", "?"))
             mode = str(descriptor.get("mode", "?"))
+            if mode == "failure":
+                quarantined += 1
+                continue
+            results += 1
+            app = str(descriptor.get("app", "?"))
             by_app[app] = by_app.get(app, 0) + 1
             by_mode[mode] = by_mode.get(mode, 0) + 1
         return {
@@ -257,6 +268,7 @@ class ResultStore:
             "backend": self.backend,
             "results": results,
             "stale": self.stale_records,
+            "quarantined": quarantined,
             "apps": dict(sorted(by_app.items())),
             "modes": dict(sorted(by_mode.items())),
         }

@@ -66,3 +66,58 @@ class JobError(ReproError):
 
 class CampaignError(ReproError):
     """Raised by the experiment-campaign engine and result store."""
+
+
+class JobTimeoutError(CampaignError):
+    """One campaign job exceeded its per-job timeout (transient: the
+    engine kills and respawns the worker pool, then retries the job)."""
+
+
+class CampaignExecutionError(CampaignError):
+    """One or more campaign jobs definitively failed under the
+    ``on_failure="raise"`` policy.
+
+    Unlike a bare re-raise of the first worker exception, this error
+    reports *partial completion*: ``completed`` maps job keys to the
+    payloads finished before (or alongside) the failure, ``failures``
+    maps job keys to their :class:`~repro.campaign.resilience.FailureRecord`,
+    and ``not_run`` lists jobs never attempted.  With a store attached
+    every completed payload is already persisted when this is raised.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        completed: dict | None = None,
+        failures: dict | None = None,
+        not_run: list | None = None,
+    ):
+        super().__init__(message)
+        self.completed = completed or {}
+        self.failures = failures or {}
+        self.not_run = list(not_run or [])
+
+
+class CampaignInterrupted(CampaignError):
+    """A campaign run was drained by SIGINT/SIGTERM.
+
+    Running jobs were allowed to finish, their results were persisted,
+    and (when the engine was given a manifest path) a resume manifest
+    was written; re-running with ``--resume`` continues bit-identically.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        signal_name: str = "signal",
+        completed: int = 0,
+        planned: int = 0,
+        manifest: str | None = None,
+    ):
+        super().__init__(message)
+        self.signal_name = signal_name
+        self.completed = completed
+        self.planned = planned
+        self.manifest = manifest

@@ -264,6 +264,39 @@ def main_campaign(argv: list[str] | None = None) -> int:
         type=int,
         help="worker processes (default: $REPRO_CAMPAIGN_WORKERS or cpu count)",
     )
+    run_p.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="extra attempts per job on transient failures (worker crash, "
+        "timeout; default: 2)",
+    )
+    run_p.add_argument(
+        "--job-timeout",
+        type=float,
+        help="per-job wall-clock timeout in seconds (default: none); an "
+        "expired job costs one attempt and the pool is respawned",
+    )
+    run_p.add_argument(
+        "--on-failure",
+        choices=("raise", "quarantine", "skip"),
+        default="raise",
+        help="what to do with jobs that exhaust their retries: abort the "
+        "campaign (raise, default), persist a failure record so later runs "
+        "skip them (quarantine), or drop them for this run only (skip)",
+    )
+    run_p.add_argument(
+        "--retry-failed",
+        action="store_true",
+        help="re-attempt jobs that earlier runs quarantined into this store",
+    )
+    run_p.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume a drained campaign: validate the <store>.resume.json "
+        "manifest left by SIGINT/SIGTERM and run the remaining jobs "
+        "(completed work is reused from the store, bit-identical)",
+    )
 
     status_p = sub.add_parser("status", help="summarise a result store")
     status_p.add_argument(
@@ -328,6 +361,12 @@ def _campaign_dispatch(args) -> int:
                 "schema version (dead weight; run "
                 "`repro-campaign store compact` to reclaim)"
             )
+        if summary["quarantined"]:
+            print(
+                f"quarantined: {summary['quarantined']} job(s) with persisted "
+                "failure records (re-attempt with `repro-campaign run "
+                "--retry-failed`)"
+            )
         if summary["results"]:
             _print_breakdown("by mode", summary["modes"])
             _print_breakdown("by app", summary["apps"])
@@ -351,20 +390,100 @@ def _campaign_dispatch(args) -> int:
             print(f"already cached:   {cached} / {description['jobs']}")
         return 0
 
+    from repro.campaign import RetryPolicy
+    from repro.errors import CampaignInterrupted
+
+    manifest_path = str(args.store) + ".resume.json"
+    if args.resume:
+        _check_resume_manifest(args.store, manifest_path, plan)
+
+    policy = RetryPolicy(
+        max_retries=args.retries, job_timeout_s=args.job_timeout
+    )
     with ResultStore(args.store, backend=args.backend) as store:
-        engine = CampaignEngine(store=store, max_workers=args.workers)
+        engine = CampaignEngine(
+            store=store, max_workers=args.workers, retry_policy=policy
+        )
         print(
             f"running {description['jobs']} jobs "
             f"({', '.join(f'{m}: {n}' for m, n in description['modes'].items())})"
         )
-        results = engine.run(plan)
+        try:
+            results = engine.run(
+                plan,
+                on_failure=args.on_failure,
+                retry_failed=args.retry_failed,
+                resume_manifest=manifest_path,
+            )
+        except CampaignInterrupted as exc:
+            print(
+                f"drained on {exc.signal_name}: {exc.completed} of "
+                f"{exc.planned} job(s) completed and persisted",
+                file=sys.stderr,
+            )
+            if exc.manifest:
+                print(
+                    f"resume with: repro-campaign run --resume "
+                    f"--store {args.store} (manifest: {exc.manifest})",
+                    file=sys.stderr,
+                )
+            return 130
         report = results.report
         print(f"cache hits:      {report.cached}")
         print(f"new simulations: {report.executed} "
               f"(workers: {report.workers})")
+        if report.retried:
+            print(f"retried:         {report.retried} transient failure(s)")
+        if report.quarantined:
+            print(
+                f"quarantined:     {report.quarantined} job(s) skipped via "
+                "persisted failure records (--retry-failed to re-attempt)"
+            )
+        if report.failed:
+            print(
+                f"failed:          {report.failed} job(s) exhausted retries "
+                f"(policy: {args.on_failure})"
+            )
         print(f"store now holds {len(store)} results at {store.path} "
               f"({store.backend})")
-    return 0
+    return 3 if report.failed else 0
+
+
+def _check_resume_manifest(store_path: str, manifest_path: str, plan) -> None:
+    """Refuse ``--resume`` when the manifest belongs to another store or
+    another plan (the content-addressed store carries the actual state;
+    this is a guard against resuming the wrong campaign)."""
+    from pathlib import Path
+
+    from repro.campaign import ResumeManifest, job_key
+    from repro.errors import CampaignError
+
+    manifest = ResumeManifest.load(manifest_path)
+    if manifest.store is not None and Path(manifest.store).resolve() != Path(
+        store_path
+    ).resolve():
+        raise CampaignError(
+            f"resume manifest {manifest_path} records store "
+            f"{manifest.store}, not {store_path}; refusing to resume"
+        )
+    plan_keys = {job_key(job.descriptor()) for job in plan}
+    manifest_keys = set(manifest.completed) | set(manifest.pending) | set(
+        manifest.quarantined
+    )
+    unknown = manifest_keys - plan_keys
+    if len(plan_keys) != manifest.planned or unknown:
+        raise CampaignError(
+            f"resume manifest {manifest_path} describes a different campaign "
+            f"({manifest.planned} planned job(s), "
+            f"{len(unknown)} key(s) not in this plan of {len(plan_keys)}); "
+            "re-run with the original plan flags, or delete the manifest "
+            "and run without --resume"
+        )
+    print(
+        f"resuming: {len(manifest.completed)} completed, "
+        f"{len(manifest.pending)} pending "
+        f"(drained on {manifest.signal_name})"
+    )
 
 
 def _store_dispatch(args) -> int:

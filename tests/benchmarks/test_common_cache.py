@@ -136,6 +136,40 @@ def test_pre_v2_store_re_simulates_silently(harness_cache):
     assert engine.total_cached == 0
 
 
+def test_quarantined_cache_entry_surfaces_clear_error(harness_cache):
+    """A quarantine record in the harness store (left by an earlier
+    ``--on-failure quarantine`` run) must fail an artefact build up
+    front with a CampaignError naming the job and the retry_failed
+    escape hatch — never a raw KeyError inside dataset assembly."""
+    from repro.campaign import FailureRecord, ResultStore, failure_descriptor, job_key
+    from repro.campaign.engine import qualified_descriptor
+    from repro.campaign.plan import sweep_jobs
+    from repro.errors import CampaignError
+
+    job = sweep_jobs("EP", threads=24, node_seed=common.cluster().seed)[0]
+    descriptor = qualified_descriptor(job, None)
+    record = FailureRecord(
+        job_store_key=job_key(descriptor),
+        app=job.app,
+        mode=job.mode,
+        error_type="InjectedFault",
+        error_message="seeded by test",
+        kind="deterministic",
+        attempts=3,
+    )
+    fdesc = failure_descriptor(descriptor)
+    with ResultStore(harness_cache / "campaign-store.jsonl") as store:
+        store.put(job_key(fdesc), fdesc, record.payload())
+    common.campaign_engine.cache_clear()
+    with pytest.raises(CampaignError, match="quarantined") as excinfo:
+        small_artefact()
+    # The message names the failing job and the recovery path.
+    assert "EP" in str(excinfo.value)
+    assert "retry-failed" in str(excinfo.value) or "retry_failed" in str(
+        excinfo.value
+    )
+
+
 def test_stale_model_cache_entry_surfaces_campaign_error(harness_cache):
     """A recalled trained-model record whose payload predates the
     current parameter layout must surface the documented CampaignError

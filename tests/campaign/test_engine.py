@@ -303,12 +303,18 @@ class TestConsumerEquivalence:
         assert result.configurations_tried == 13
 
     def test_completed_jobs_persisted_despite_midrun_failure(self, tmp_path):
+        from repro.errors import CampaignExecutionError
+
         good = sweep_jobs("EP", threads=24)[0]
         bad = CampaignJob(app="NotABenchmark", mode="sweep", threads=24)
         store = ResultStore(tmp_path / "store.jsonl")
         engine = CampaignEngine(store=store, max_workers=1)
-        with pytest.raises(WorkloadError):
+        with pytest.raises(CampaignExecutionError) as excinfo:
             engine.run((good, bad))
+        # The original failure is chained, partial completion is reported.
+        assert isinstance(excinfo.value.__cause__, WorkloadError)
+        assert len(excinfo.value.completed) == 1
+        assert len(excinfo.value.failures) == 1
         assert len(store) == 1  # the completed job survived the crash
 
     def test_mutated_registered_app_runs_live_object(self):

@@ -47,6 +47,7 @@ import os
 from pathlib import Path
 
 from repro import config
+from repro.api import ExecutionOptions
 from repro.campaign.engine import CampaignEngine
 from repro.campaign.store import ResultStore
 from repro.hardware.cluster import Cluster
@@ -166,5 +167,7 @@ def tuned_outcome(benchmark: str) -> TuningOutcome:
 def static_result(benchmark: str) -> StaticTuningResult:
     """Exhaustive static search on the full grid (Table V)."""
     return exhaustive_static_search(
-        registry.build(benchmark), cluster(), engine=campaign_engine()
+        registry.build(benchmark),
+        cluster(),
+        options=ExecutionOptions(campaign=campaign_engine()),
     )

@@ -25,6 +25,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.analysis.heatmap import energy_heatmap
+from repro.api import ExecutionOptions
 from repro.hardware.cluster import Cluster
 
 #: Figure benchmark -> the paper's optimal thread count for it.
@@ -42,7 +43,8 @@ def measure_app(app_name: str, primary: str = "sweep") -> dict:
 
     def grid(engine: str):
         return energy_heatmap(
-            app_name, threads=threads, cluster=Cluster(2), engine=engine
+            app_name, threads=threads, cluster=Cluster(2),
+            options=ExecutionOptions(engine=engine),
         )
 
     order = (primary, "loop" if primary == "sweep" else "sweep")

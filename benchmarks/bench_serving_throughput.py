@@ -1,0 +1,237 @@
+"""Serving throughput: cross-request batching vs one-sweep-per-request.
+
+A closed-loop load generator drives :class:`repro.serve.service.
+TuningService.handle` directly (transport-free — the HTTP shell is
+covered by the CI serving smoke) with the workload the serving layer
+exists for: per round, a pool of clients tunes the *same* benchmark
+grid — a few asking for different objectives, the rest pricing their
+own candidate tuning model (TMM) against it.  All of those requests
+share one grid key, so the batched service measures the CF x UCF grid
+once per round and answers every client from it, while the unbatched
+control arm pays one full sweep per distinct request.
+
+Reported per arm: sustained requests/second and p50/p99 response
+latency; the aggregate carries the batched/unbatched throughput ratio
+(machine-comparable, gated in CI against the committed baseline at
+``benchmarks/baselines/serving-throughput.json``), the coalescing
+counter, and a bit-equality flag — every batched response must equal
+its unbatched twin, which in turn equals offline ``repro.api.tune``.
+
+Runs standalone with JSON output (the CI perf-smoke step uploads the
+artifact)::
+
+    python benchmarks/bench_serving_throughput.py --clients 8 --rounds 3 \
+        --json serving-throughput.json
+
+or under pytest alongside the other benches.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro import config
+from repro.execution.simulator import OperatingPoint
+from repro.readex.tuning_model import TuningModel
+from repro.serve.schema import WIRE_VERSION
+from repro.serve.service import TuningService
+
+DEFAULT_CLIENTS = 8
+DEFAULT_ROUNDS = 3
+DEFAULT_BENCHMARK = "EP"
+DEFAULT_STRIDE = 1
+
+OBJECTIVES = ("energy", "edp", "ed2p")
+
+
+def client_tmm(index: int) -> str:
+    """A distinct candidate TMM per client (one tuned region each)."""
+    model = TuningModel.from_best_configs(
+        DEFAULT_BENCHMARK,
+        "phase",
+        {
+            f"candidate-{index}": OperatingPoint(
+                core_freq_ghz=config.CORE_FREQUENCIES_GHZ[
+                    index % len(config.CORE_FREQUENCIES_GHZ)
+                ],
+                uncore_freq_ghz=config.UNCORE_FREQUENCIES_GHZ[
+                    index % len(config.UNCORE_FREQUENCIES_GHZ)
+                ],
+                threads=config.DEFAULT_OPENMP_THREADS,
+            )
+        },
+    )
+    return model.to_json()
+
+
+def round_requests(
+    clients: int, round_index: int, benchmark: str, stride: int
+) -> list[dict]:
+    """One round's request mix: distinct identities, one grid key.
+
+    The first three clients ask for the three objectives; the rest each
+    price their own TMM.  ``seed=round_index`` makes every round a
+    fresh grid (nothing carries over between rounds), so sustained
+    throughput is measured, not a warm cache.
+    """
+    requests = []
+    for client in range(clients):
+        payload = {
+            "version": WIRE_VERSION,
+            "benchmark": benchmark,
+            "stride": stride,
+            "seed": round_index,
+            "objective": OBJECTIVES[client % len(OBJECTIVES)],
+        }
+        if client >= len(OBJECTIVES):
+            payload["tmm"] = client_tmm(client)
+        requests.append(payload)
+    return requests
+
+
+async def _drive(service: TuningService, rounds: list[list[dict]]) -> dict:
+    latencies: list[float] = []
+    responses: list[dict] = []
+    start = time.perf_counter()
+    for round_payloads in rounds:
+        async def timed(payload: dict) -> dict:
+            began = time.perf_counter()
+            response = await service.handle(payload)
+            latencies.append(time.perf_counter() - began)
+            return response
+
+        responses.extend(
+            await asyncio.gather(*(timed(p) for p in round_payloads))
+        )
+    elapsed = time.perf_counter() - start
+    await service.aclose()
+    ordered = sorted(latencies)
+
+    def quantile(q: float) -> float:
+        return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+    return {
+        "responses": responses,
+        "requests": len(latencies),
+        "elapsed_s": elapsed,
+        "rps": len(latencies) / elapsed,
+        "p50_ms": quantile(0.50) * 1e3,
+        "p99_ms": quantile(0.99) * 1e3,
+        "coalesced": service.batcher.coalesced,
+        "groups_fired": service.batcher.groups_fired,
+    }
+
+
+def measure_arm(admission: str, rounds: list[list[dict]]) -> dict:
+    service = TuningService(
+        admission=admission, max_batch=64, max_wait_s=0.005
+    )
+    return asyncio.run(_drive(service, rounds))
+
+
+def run_benchmark(
+    clients: int = DEFAULT_CLIENTS,
+    rounds: int = DEFAULT_ROUNDS,
+    benchmark: str = DEFAULT_BENCHMARK,
+    stride: int = DEFAULT_STRIDE,
+) -> dict:
+    load = [
+        round_requests(clients, r, benchmark, stride) for r in range(rounds)
+    ]
+    # warm-up round outside the measurement: registry caches, memoised
+    # region timings (same for both arms)
+    measure_arm("batched", [round_requests(clients, 10_000, benchmark, stride)])
+
+    batched = measure_arm("batched", load)
+    unbatched = measure_arm("unbatched", load)
+
+    identical = all(
+        b.get("result") == u.get("result")
+        and b.get("status") == u.get("status") == "ok"
+        for b, u in zip(batched.pop("responses"), unbatched.pop("responses"))
+    )
+    aggregate = {
+        "speedup": batched["rps"] / unbatched["rps"],
+        "responses_identical": identical,
+        "coalesced": batched["coalesced"],
+        "coalescing_engaged": batched["coalesced"] > 0,
+    }
+    return {
+        "benchmark": "serving_throughput",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "app": benchmark,
+        "clients": clients,
+        "rounds": rounds,
+        "stride": stride,
+        "batched": batched,
+        "unbatched": unbatched,
+        "aggregate": aggregate,
+    }
+
+
+def render(report: dict) -> str:
+    lines = [
+        f"{'arm':<10} {'req':>5} {'req/s':>8} {'p50':>9} {'p99':>9} "
+        f"{'sweeps':>7}",
+    ]
+    for arm in ("batched", "unbatched"):
+        r = report[arm]
+        lines.append(
+            f"{arm:<10} {r['requests']:>5} {r['rps']:>8.1f} "
+            f"{r['p50_ms']:>7.1f}ms {r['p99_ms']:>7.1f}ms "
+            f"{r['groups_fired']:>7}"
+        )
+    a = report["aggregate"]
+    lines.append(
+        f"{'aggregate':<10} speedup {a['speedup']:.1f}x  "
+        f"coalesced {a['coalesced']}  "
+        f"identical {a['responses_identical']}"
+    )
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# pytest entry point (runs with the bench harness)
+# ---------------------------------------------------------------------------
+
+def test_serving_throughput(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_benchmark(clients=6, rounds=2),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render(report))
+    assert report["aggregate"]["responses_identical"]
+    assert report["aggregate"]["coalesced"] > 0
+    # Smoke-level floor only; the committed-baseline ratio gate is the
+    # real guard against regressions.
+    assert report["aggregate"]["speedup"] > 2
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=DEFAULT_CLIENTS)
+    parser.add_argument("--rounds", type=int, default=DEFAULT_ROUNDS)
+    parser.add_argument("--app", default=DEFAULT_BENCHMARK)
+    parser.add_argument("--stride", type=int, default=DEFAULT_STRIDE)
+    parser.add_argument("--json", type=Path, default=None,
+                        help="write the full report as JSON")
+    args = parser.parse_args(argv)
+    report = run_benchmark(args.clients, args.rounds, args.app, args.stride)
+    print(render(report))
+    if args.json:
+        args.json.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,7 @@ if __package__ in (None, ""):  # script execution: make `benchmarks` importable
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
 
 from repro.analysis.savings import compare_static_dynamic
+from repro.api import ExecutionOptions
 from repro.execution.simulator import OperatingPoint
 from repro.readex.tuning_model import TuningModel
 from repro.workloads import registry
@@ -76,7 +77,8 @@ def measure_app(
 
     def sweep(engine: str):
         return compare_static_dynamic(
-            app_name, CANNED_STATIC, model, runs=runs, engine=engine
+            app_name, CANNED_STATIC, model, runs=runs,
+            options=ExecutionOptions(engine=engine),
         )
 
     order = (primary, "recursive" if primary == "replay" else "replay")
@@ -158,7 +160,7 @@ def _compare():
                 instrumentation=outcome.instrumentation,
                 cluster=cluster(),
                 runs=5,
-                campaign=campaign_engine(),
+                options=ExecutionOptions(campaign=campaign_engine()),
             )
         )
     return rows

@@ -41,6 +41,7 @@ GATED_METRICS: dict[str, tuple[str, ...]] = {
         "backends.segment.recall_speedup",
         "backends.segment.cold_open_speedup",
     ),
+    "serving_throughput": ("aggregate.speedup",),
 }
 
 #: Dotted paths of boolean flags that must be true, per report kind.
@@ -51,6 +52,10 @@ REQUIRED_FLAGS: dict[str, tuple[str, ...]] = {
     "table6_savings": ("aggregate.engines_identical",),
     "grid_sweep": ("aggregate.engines_identical",),
     "store_scale": ("payloads_identical",),
+    "serving_throughput": (
+        "aggregate.responses_identical",
+        "aggregate.coalescing_engaged",
+    ),
 }
 
 

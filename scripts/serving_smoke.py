@@ -1,0 +1,150 @@
+#!/usr/bin/env python3
+"""CI smoke for the serving layer: a real server, end to end.
+
+Starts ``repro-serve`` as a subprocess on an ephemeral port, fires a
+concurrent batch of tuning requests at it, and asserts the three
+serving-layer contracts:
+
+1. **Coalescing engaged** — the ``/metrics`` coalescing counter is
+   positive (the batch really was answered from shared sweeps, not
+   served one by one).
+2. **Bit-equality** — every response ``result`` equals the offline
+   ``repro.api.tune`` answer for the same request, byte for byte once
+   JSON-encoded.
+3. **Graceful drain** — SIGTERM makes the server drain and exit with
+   code 130 (the documented contract, shared with ``repro-campaign``).
+
+Usage (CI runs it from the repo root)::
+
+    python scripts/serving_smoke.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro import api  # noqa: E402
+from repro.serve.schema import WIRE_VERSION  # noqa: E402
+
+BENCHMARK = "EP"
+STRIDE = 2
+OBJECTIVES = ("energy", "edp", "ed2p")
+
+
+async def http(port: int, method: str, path: str, body=None):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    data = b"" if body is None else json.dumps(body).encode("utf-8")
+    request = (
+        f"{method} {path} HTTP/1.1\r\nHost: localhost\r\n"
+        f"Content-Length: {len(data)}\r\n\r\n"
+    ).encode("ascii") + data
+    writer.write(request)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    head, _, payload = raw.partition(b"\r\n\r\n")
+    return int(head.split()[1]), json.loads(payload)
+
+
+async def exercise(port: int) -> None:
+    payloads = [
+        {
+            "version": WIRE_VERSION,
+            "benchmark": BENCHMARK,
+            "stride": STRIDE,
+            "objective": objective,
+        }
+        for objective in OBJECTIVES
+    ]
+    responses = await asyncio.gather(
+        *(http(port, "POST", "/v1/tune", p) for p in payloads)
+    )
+    for payload, (status, envelope) in zip(payloads, responses):
+        assert status == 200, (status, envelope)
+        offline = api.tune(
+            api.TuningRequest(
+                BENCHMARK, stride=STRIDE, objective=payload["objective"]
+            )
+        )
+        served = json.dumps(envelope["result"], sort_keys=True)
+        expected = json.dumps(offline.payload(), sort_keys=True)
+        assert served == expected, (
+            f"served result for {payload['objective']} differs from "
+            f"offline repro.api.tune:\n  served:  {served}\n"
+            f"  offline: {expected}"
+        )
+    print(f"bit-equality: {len(payloads)} responses match offline tune()")
+
+    status, metrics = await http(port, "GET", "/metrics")
+    assert status == 200
+    assert metrics["coalesced"] > 0, f"no coalescing happened: {metrics}"
+    print(
+        f"coalescing: {metrics['coalesced']} request(s) coalesced across "
+        f"{metrics['groups_fired']} group(s)"
+    )
+
+    status, health = await http(port, "GET", "/healthz")
+    assert status == 200 and health["status"] == "ok", health
+
+
+def main() -> int:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [str(REPO / "src"), env.get("PYTHONPATH", "")])
+    )
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.serve.server",
+            "--port",
+            "0",
+            "--max-wait-ms",
+            "25",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=env,
+        text=True,
+    )
+    try:
+        banner = process.stdout.readline().strip()
+        assert banner.startswith("serving on http://"), (
+            banner or process.stderr.read()
+        )
+        port = int(banner.rsplit(":", 1)[1])
+        print(banner)
+
+        asyncio.run(exercise(port))
+
+        process.send_signal(signal.SIGTERM)
+        deadline = time.monotonic() + 60
+        while process.poll() is None and time.monotonic() < deadline:
+            time.sleep(0.05)
+        code = process.poll()
+        assert code == 130, (
+            f"expected drain exit code 130, got {code}: "
+            f"{process.stderr.read()}"
+        )
+        print("graceful drain: SIGTERM -> exit 130")
+        print("serving smoke passed")
+        return 0
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -25,6 +25,15 @@ for the reproduction of every table and figure of the paper.
 """
 
 from repro import config
+from repro.api import (
+    ExecutionOptions,
+    TuningAnswer,
+    TuningRequest,
+    replay,
+    savings,
+    sweep_grid,
+    tune,
+)
 from repro.campaign import (
     CampaignEngine,
     CampaignJob,
@@ -51,6 +60,13 @@ __version__ = "1.0.0"
 
 __all__ = [
     "config",
+    "ExecutionOptions",
+    "TuningRequest",
+    "TuningAnswer",
+    "tune",
+    "sweep_grid",
+    "replay",
+    "savings",
     "ReproError",
     "CampaignEngine",
     "CampaignJob",

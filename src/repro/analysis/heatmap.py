@@ -13,21 +13,24 @@ bit-identical to (and several times faster than) the historical
 a time.  Passing a :class:`~repro.campaign.engine.CampaignEngine` routes
 the sweep through ``grid``-mode campaign jobs instead, making grid rows
 cacheable, parallelisable units in the result store.
+
+The measurement itself lives in :func:`repro.api.sweep_grid`; this
+module adds the figures' normalization and plateau analysis on top.
+Execution choices arrive as a :class:`repro.api.ExecutionOptions`
+(``options=``); the historical ``engine=`` / ``campaign=`` keywords
+remain as deprecated shims.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
-from repro import config
+from repro import api, config
 from repro.errors import CampaignError
-from repro.execution.simulator import ExecutionSimulator, OperatingPoint
-from repro.execution.sweep_replay import sweep_run
 from repro.hardware.cluster import Cluster
 from repro.util.validation import frequency_index
-from repro.workloads import registry
 
 #: The paper highlights configurations within 2% of the minimum in pink.
 PLATEAU_THRESHOLD = 0.02
@@ -81,84 +84,6 @@ class EnergyHeatmap:
         return self.selected in set(self.plateau(threshold))
 
 
-def _measure_loop(
-    benchmark: str, threads: int, cluster: Cluster, node_id: int, seed: int
-) -> np.ndarray:
-    """Reference grid measurement: one fresh node and run per cell."""
-    cfs = config.CORE_FREQUENCIES_GHZ
-    ucfs = config.UNCORE_FREQUENCIES_GHZ
-    energies = np.empty((len(cfs), len(ucfs)))
-    for i, cf in enumerate(cfs):
-        for j, ucf in enumerate(ucfs):
-            node = cluster.fresh_node(node_id)
-            node.set_frequencies(cf, ucf)
-            run = ExecutionSimulator(node, seed=seed).run(
-                registry.build(benchmark),
-                threads=threads,
-                run_key=("heatmap", cf, ucf),
-            )
-            energies[i, j] = run.node_energy_j
-    return energies
-
-
-def _measure_sweep(
-    benchmark: str, threads: int, cluster: Cluster, node_id: int, seed: int
-) -> np.ndarray:
-    """One-pass grid measurement through the sweep-replay engine."""
-    cfs = config.CORE_FREQUENCIES_GHZ
-    ucfs = config.UNCORE_FREQUENCIES_GHZ
-    points = [OperatingPoint(cf, ucf, threads) for cf in cfs for ucf in ucfs]
-    sweep = sweep_run(
-        registry.build(benchmark),
-        points,
-        run_keys=[
-            ("heatmap", p.core_freq_ghz, p.uncore_freq_ghz) for p in points
-        ],
-        node_id=node_id,
-        seed=seed,
-        node_seed=cluster.seed,
-        topology=cluster.topology,
-    )
-    return np.array([r.node_energy_j for r in sweep.results]).reshape(
-        len(cfs), len(ucfs)
-    )
-
-
-def _measure_campaign(
-    benchmark: str,
-    threads: int,
-    cluster: Cluster,
-    node_id: int,
-    seed: int,
-    campaign,
-) -> np.ndarray:
-    """Grid measurement as cacheable per-row campaign jobs."""
-    from repro.campaign.engine import run_app_jobs
-    from repro.campaign.plan import grid_jobs
-
-    if campaign.topology != cluster.topology:
-        raise CampaignError(
-            f"campaign engine topology {campaign.topology!r} does not "
-            f"match the cluster's {cluster.topology!r}"
-        )
-    cfs = config.CORE_FREQUENCIES_GHZ
-    ucfs = config.UNCORE_FREQUENCIES_GHZ
-    jobs = grid_jobs(
-        benchmark,
-        label="heatmap",
-        points=[OperatingPoint(cf, ucf, threads) for cf in cfs for ucf in ucfs],
-        node_id=node_id,
-        seed=seed,
-        node_seed=cluster.seed,
-    )
-    results = run_app_jobs(
-        jobs, registry.build(benchmark), cluster=cluster, engine=campaign
-    )
-    return np.array([results[job]["node_energy_j"] for job in jobs]).reshape(
-        len(cfs), len(ucfs)
-    )
-
-
 def energy_heatmap(
     benchmark: str,
     *,
@@ -167,48 +92,52 @@ def energy_heatmap(
     node_id: int = 0,
     selected: tuple[float, float] | None = None,
     seed: int = config.DEFAULT_SEED,
-    engine: str = "sweep",
+    engine: str | None = None,
     campaign=None,
+    options: api.ExecutionOptions | None = None,
 ) -> EnergyHeatmap:
     """Measure the full grid for one benchmark at a fixed thread count.
 
-    ``engine`` selects the grid measurement path (``"sweep"`` one-pass
-    replay, ``"loop"`` per-cell reference); both are bit-identical.  A
-    ``campaign`` engine (implies ``"sweep"`` physics) executes the grid
-    as per-row jobs with store caching and worker parallelism.
+    ``options`` selects the grid measurement path (``engine="sweep"``
+    one-pass replay — the default — or ``"loop"``, the per-cell
+    reference; both bit-identical) and may attach a campaign engine
+    (implies ``"sweep"`` physics) to execute the grid as per-row jobs
+    with store caching and worker parallelism.  The ``engine=`` /
+    ``campaign=`` keywords are deprecated spellings of the same
+    choices.
     """
-    if engine not in ENGINES:
-        raise CampaignError(f"unknown heatmap engine: {engine!r}; known: {ENGINES}")
-    if campaign is not None and engine != "sweep":
+    if engine is not None and engine not in ENGINES:
         raise CampaignError(
-            "campaign-backed heatmaps measure through the sweep engine; "
-            f"drop campaign= or use engine='sweep', not {engine!r}"
+            f"unknown heatmap engine: {engine!r}; known: {ENGINES}"
         )
-    cluster = cluster or Cluster(2, seed=seed)
-    cluster.check_node_id(node_id)
-    cfs = config.CORE_FREQUENCIES_GHZ
-    ucfs = config.UNCORE_FREQUENCIES_GHZ
-    if campaign is not None:
-        energies = _measure_campaign(
-            benchmark, threads, cluster, node_id, seed, campaign
-        )
-    elif engine == "sweep":
-        energies = _measure_sweep(benchmark, threads, cluster, node_id, seed)
-    else:
-        energies = _measure_loop(benchmark, threads, cluster, node_id, seed)
-    cal = energies[
+    opts = api.resolve_options(
+        options,
+        site="repro.analysis.heatmap.energy_heatmap",
+        engine=engine,
+        campaign=campaign,
+    )
+    if cluster is not None:
+        opts = replace(opts, cluster=cluster)
+    grid = api.sweep_grid(
+        benchmark, threads=threads, node_id=node_id, seed=seed, options=opts
+    )
+    cal = grid.node_energy_j[
         frequency_index(
-            cfs, config.CALIBRATION_CORE_FREQ_GHZ, axis="core-frequency"
+            grid.core_frequencies,
+            config.CALIBRATION_CORE_FREQ_GHZ,
+            axis="core-frequency",
         ),
         frequency_index(
-            ucfs, config.CALIBRATION_UNCORE_FREQ_GHZ, axis="uncore-frequency"
+            grid.uncore_frequencies,
+            config.CALIBRATION_UNCORE_FREQ_GHZ,
+            axis="uncore-frequency",
         ),
     ]
     return EnergyHeatmap(
         benchmark=benchmark,
         threads=threads,
-        core_frequencies=cfs,
-        uncore_frequencies=ucfs,
-        normalized=energies / cal,
+        core_frequencies=grid.core_frequencies,
+        uncore_frequencies=grid.uncore_frequencies,
+        normalized=grid.node_energy_j / cal,
         selected=selected,
     )

@@ -28,11 +28,11 @@ to the in-process loop.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
-from repro import config
+from repro import api, config
 from repro.campaign.plan import savings_jobs
 from repro.errors import CampaignError
 from repro.execution.simulator import ExecutionSimulator, OperatingPoint
@@ -188,23 +188,36 @@ def compare_static_dynamic(
     node_id: int = 0,
     runs: int = 5,
     seed: int = config.DEFAULT_SEED,
-    engine: str = "auto",
+    engine: str | None = None,
     campaign=None,
+    options: api.ExecutionOptions | None = None,
 ) -> BenchmarkSavings:
     """Produce one Table VI row for ``benchmark``.
 
-    ``engine`` selects the execution engine of the underlying runs
-    (``auto``/``recursive``/``replay`` — bit-identical, so the row is
-    engine-independent).  With a ``campaign``
+    ``options.engine`` selects the execution engine of the underlying
+    runs (``auto``/``recursive``/``replay`` — bit-identical, so the row
+    is engine-independent).  With ``options.campaign``
     (:class:`~repro.campaign.engine.CampaignEngine`), the runs execute
     as ``savings``-mode campaign jobs — cached in the engine's result
     store and parallelisable — again bit-identical to the in-process
     loop; ``engine`` must stay ``"auto"`` in that case because cached
-    payloads carry no engine choice.
+    payloads carry no engine choice.  The bare ``engine=`` /
+    ``campaign=`` keywords are the deprecated spellings.
     """
-    validate_engine(engine)
-    cluster = cluster or Cluster(2, seed=seed)
-    if campaign is not None:
+    if engine is not None:
+        validate_engine(engine)
+    opts = api.resolve_options(
+        options,
+        site="repro.analysis.savings.compare_static_dynamic",
+        engine=engine,
+        campaign=campaign,
+    )
+    if cluster is not None:
+        opts = replace(opts, cluster=cluster)
+    validate_engine(opts.engine)
+    engine = opts.engine
+    cluster = opts.resolve_cluster(seed)
+    if opts.campaign is not None:
         if engine != "auto":
             raise CampaignError(
                 "campaign-backed savings runs are engine-independent; "
@@ -213,7 +226,7 @@ def compare_static_dynamic(
         return _compare_via_campaign(
             benchmark, static_config, tuning_model,
             instrumentation=instrumentation, cluster=cluster,
-            node_id=node_id, runs=runs, seed=seed, campaign=campaign,
+            node_id=node_id, runs=runs, seed=seed, campaign=opts.campaign,
         )
     default = _averaged_runs(
         benchmark, cluster, node_id,

@@ -14,9 +14,9 @@ historical per-configuration loop remains as the bit-identical
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
-from repro import config
+from repro import api, config
 from repro.errors import CampaignError
 from repro.execution.simulator import ExecutionSimulator, OperatingPoint
 from repro.execution.sweep_replay import sweep_run
@@ -44,15 +44,35 @@ def energy_time_tradeoff(
     cluster: Cluster | None = None,
     node_id: int = 0,
     seed: int = config.DEFAULT_SEED,
-    engine: str = "sweep",
+    engine: str | None = None,
+    options: api.ExecutionOptions | None = None,
 ) -> list[TradeoffPoint]:
     """Evaluate configurations relative to the platform default.
 
-    ``engine="sweep"`` (default) replays the whole configuration set in
-    one pass; ``"loop"`` runs the per-configuration reference.  Both
-    return bit-identical points.
+    ``options.engine`` selects the measurement path: ``"sweep"`` (the
+    default) replays the whole configuration set in one pass;
+    ``"loop"`` runs the per-configuration reference.  Both return
+    bit-identical points.  The bare ``engine=`` keyword is the
+    deprecated spelling.
     """
-    cluster = cluster or Cluster(2, seed=seed)
+    if engine is not None and engine not in ("sweep", "loop"):
+        raise CampaignError(
+            f"unknown tradeoff engine: {engine!r}; known: ('sweep', 'loop')"
+        )
+    opts = api.resolve_options(
+        options,
+        site="repro.analysis.tradeoffs.energy_time_tradeoff",
+        engine=engine,
+    )
+    if cluster is not None:
+        opts = replace(opts, cluster=cluster)
+    if opts.campaign is not None:
+        raise CampaignError(
+            "tradeoff sweeps run over arbitrary configuration lists, not "
+            "grid rows; they are not campaign-backed — drop campaign"
+        )
+    engine = opts.grid_engine()
+    cluster = opts.resolve_cluster(seed)
     cluster.check_node_id(node_id)
     default_point = OperatingPoint()
     points = list(configurations)

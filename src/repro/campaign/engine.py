@@ -812,6 +812,8 @@ def run_app_jobs(
     *,
     cluster: Cluster,
     engine: CampaignEngine | None = None,
+    on_failure: str = "raise",
+    retry_failed: bool = False,
 ) -> CampaignResults:
     """Run one application's job batch with live-object fidelity.
 
@@ -821,12 +823,18 @@ def run_app_jobs(
     therefore run serially, in-process, against the live object, and
     are never cached.  An explicitly passed ``engine`` wins (including
     its topology); otherwise an ad-hoc engine simulates the cluster's
-    topology.
+    topology.  ``on_failure`` and ``retry_failed`` carry
+    :meth:`CampaignEngine.run`'s failure semantics through (the
+    custom-instance path has no store, so they only shape engine runs).
     """
     if _registry_faithful(app):
         if engine is None:
             engine = CampaignEngine(topology=cluster.topology)
-        return engine.run(CampaignPlan(tuple(jobs)))
+        return engine.run(
+            CampaignPlan(tuple(jobs)),
+            on_failure=on_failure,
+            retry_failed=retry_failed,
+        )
     payloads = {
         topology_job_key(job, cluster.topology): execute_job(
             job, cluster.topology, app=app

@@ -48,6 +48,10 @@ class TuningError(ReproError):
     """Raised by the PTF layer for invalid tuning requests."""
 
 
+class SchemaError(ReproError):
+    """Raised by the serving layer for malformed wire payloads."""
+
+
 class ModelError(ReproError):
     """Raised by the modeling layer (bad shapes, untrained model, ...)."""
 

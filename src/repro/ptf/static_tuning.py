@@ -115,21 +115,36 @@ def exhaustive_static_search(
     stride: int = 1,
     thread_counts: tuple[int, ...] | None = None,
     engine: CampaignEngine | None = None,
-    measurement: str = "grid",
+    measurement: str | None = None,
+    options: "api.ExecutionOptions | None" = None,
 ) -> StaticTuningResult:
     """Run the full static sweep and return the best configuration.
 
-    ``measurement`` selects how the grid is simulated: ``"grid"``
-    (default) replays each (threads, CF) row in one sweep-engine pass;
-    ``"cell"`` runs the historical one-job-per-cell plan.  The measured
-    energies — and therefore the result — are bit-identical.
+    ``options.measurement`` selects how the grid is simulated:
+    ``"grid"`` (default) replays each (threads, CF) row in one
+    sweep-engine pass; ``"cell"`` runs the historical one-job-per-cell
+    plan.  The measured energies — and therefore the result — are
+    bit-identical.  ``options.campaign`` attaches the campaign engine
+    that pools and caches the runs.  The bare ``engine=`` (historically
+    this function's spelling for the *campaign* engine) and
+    ``measurement=`` keywords are the deprecated forms.
     """
+    from repro import api
+
     if stride < 1:
         raise TuningError("stride must be >= 1")
-    if measurement not in ("grid", "cell"):
+    if measurement is not None and measurement not in ("grid", "cell"):
         raise TuningError(
             f"unknown measurement: {measurement!r}; known: ('grid', 'cell')"
         )
+    opts = api.resolve_options(
+        options,
+        site="repro.ptf.static_tuning.exhaustive_static_search",
+        campaign=engine,
+        measurement=measurement,
+    )
+    engine = opts.campaign
+    measurement = opts.measurement
     points = static_operating_points(
         app, stride=stride, thread_counts=thread_counts
     )

@@ -1,0 +1,179 @@
+"""The coalescing queue: many pending requests, one sweep each.
+
+Two requests that share a **grid key** — ``(benchmark, threads,
+stride, node_id, seed)``, see :meth:`repro.api.TuningRequest.grid_key`
+— are answered from the same CF x UCF measurement: objectives and TMMs
+are evaluated *from* the grid, not measured into it.  The batcher
+exploits that: pending requests are grouped by grid key, and a group
+flushes as one invocation of the sweep kernel when it reaches
+``max_batch`` members or its ``max_wait_s`` admission window closes.
+N queued objectives on the same app cost one sweep instead of N.
+
+This is sound because every cell's noise stream is keyed by (seed,
+node, run key, region, iteration) — never by process, wall clock or
+batch composition — so a coalesced answer is bit-identical to the solo
+:func:`repro.api.tune` answer (property-tested in
+``tests/serve/test_batcher.py``).
+
+The batcher itself is a synchronous, clock-injected data structure —
+no asyncio, no threads — so its invariants are directly testable; the
+service (:mod:`repro.serve.service`) supplies the event loop, timers
+and futures around it.  :func:`answer_group` is the pure execution
+step: one grid measurement, then one answer per member request.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable
+
+from repro import api
+from repro.errors import CampaignError
+
+__all__ = ["CoalescingBatcher", "PendingGroup", "answer_group"]
+
+#: Default admission window and batch cap.  The window only delays the
+#: *first* request of a group; followers join for free.  20 ms is long
+#: against network jitter between near-simultaneous clients and short
+#: against a sweep (hundreds of ms cold).
+DEFAULT_MAX_WAIT_S = 0.02
+DEFAULT_MAX_BATCH = 16
+
+
+@dataclass
+class PendingGroup:
+    """One grid key's pending requests, ordered by admission."""
+
+    key: tuple
+    requests: list[api.TuningRequest] = field(default_factory=list)
+    #: Tickets (admission sequence numbers) parallel to ``requests``.
+    tickets: list[int] = field(default_factory=list)
+    deadline: float = 0.0
+
+
+class CoalescingBatcher:
+    """Group pending tuning requests by grid key, deterministically.
+
+    ``admit`` files a request under its grid key and returns
+    ``(ticket, started, fire)`` — ``started`` is True when the
+    admission opened a new group (the caller should arm its flush
+    timer) and ``fire`` is True when it filled the group to
+    ``max_batch`` (flush now, don't wait for the window).
+    ``due(now)``/``pop`` drain groups whose window elapsed.  The order
+    of requests inside a group is admission order, and tickets are a
+    global admission sequence: given the same admissions, flushes are
+    fully deterministic (results never depend on order anyway — every
+    member's answer is bit-identical to its solo answer).
+    """
+
+    def __init__(
+        self,
+        *,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        max_wait_s: float = DEFAULT_MAX_WAIT_S,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_batch < 1:
+            raise CampaignError("max_batch must be >= 1")
+        if max_wait_s < 0:
+            raise CampaignError("max_wait_s must be >= 0")
+        self.max_batch = max_batch
+        self.max_wait_s = max_wait_s
+        self._clock = clock
+        self._groups: dict[tuple, PendingGroup] = {}
+        self._next_ticket = 0
+        #: Lifetime counters (the service exposes them via /metrics).
+        self.admitted = 0
+        self.coalesced = 0
+        self.groups_fired = 0
+
+    # ------------------------------------------------------------------
+    def admit(self, request: api.TuningRequest) -> tuple[int, bool, bool]:
+        """File one resolved request; returns (ticket, started, fire)."""
+        key = request.grid_key()
+        group = self._groups.get(key)
+        started = group is None
+        if started:
+            group = PendingGroup(
+                key=key, deadline=self._clock() + self.max_wait_s
+            )
+            self._groups[key] = group
+        else:
+            self.coalesced += 1
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        group.requests.append(request)
+        group.tickets.append(ticket)
+        self.admitted += 1
+        return ticket, started, len(group.requests) >= self.max_batch
+
+    def pop(self, key: tuple) -> PendingGroup | None:
+        """Remove and return one pending group (None if already fired)."""
+        group = self._groups.pop(key, None)
+        if group is not None:
+            self.groups_fired += 1
+        return group
+
+    def due(self, now: float | None = None) -> list[tuple]:
+        """Keys of groups whose admission window has closed."""
+        now = self._clock() if now is None else now
+        return [k for k, g in self._groups.items() if g.deadline <= now]
+
+    def next_deadline(self) -> float | None:
+        """Earliest pending deadline (None when nothing is queued)."""
+        if not self._groups:
+            return None
+        return min(g.deadline for g in self._groups.values())
+
+    def drain(self) -> list[PendingGroup]:
+        """Flush every pending group regardless of deadlines."""
+        groups = [self.pop(key) for key in list(self._groups)]
+        return [g for g in groups if g is not None]
+
+    @property
+    def pending(self) -> int:
+        return sum(len(g.requests) for g in self._groups.values())
+
+
+def answer_group(
+    requests: list[api.TuningRequest],
+    options: api.ExecutionOptions | None = None,
+) -> list[api.TuningAnswer]:
+    """Answer one coalesced group from a single grid measurement.
+
+    All requests must share a grid key.  The grid is measured once
+    (through whatever engine/campaign ``options`` selects) and each
+    request's objective argmin — plus its TMM-priced dynamic run, when
+    it carries one — is evaluated from it.  Per request, the result is
+    bit-identical to :func:`repro.api.tune`, which performs exactly
+    this fold for a group of one.
+    """
+    if not requests:
+        return []
+    keys = {r.grid_key() for r in requests}
+    if len(keys) != 1:
+        raise CampaignError(
+            f"answer_group got requests from {len(keys)} grid keys; "
+            "groups must share one"
+        )
+    options = options if options is not None else api.ExecutionOptions()
+    first = requests[0].resolved()
+    grid = api.sweep_grid(
+        first.benchmark,
+        threads=first.threads,
+        stride=first.stride,
+        node_id=first.node_id,
+        seed=first.seed,
+        options=options,
+    )
+    answers = []
+    for request in requests:
+        request = request.resolved()
+        answer = grid.answer(request)
+        if request.tmm is not None:
+            answer = replace(
+                answer, dynamic=api._dynamic_outcome(request, options)
+            )
+        answers.append(answer)
+    return answers

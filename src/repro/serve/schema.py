@@ -1,0 +1,178 @@
+"""The serving wire format, version 1.
+
+One request/response schema serves every caller: the HTTP service
+(:mod:`repro.serve.server`), ``repro-tune --json`` and the benchmark
+load generator all speak exactly this format, so batch and interactive
+consumers parse one shape.
+
+A request is a JSON object::
+
+    {"version": 1, "benchmark": "Lulesh", "threads": 24,
+     "objective": "energy", "tmm": null, "stride": 1,
+     "node_id": 0, "seed": 42}
+
+``version`` and ``benchmark`` are required; everything else defaults as
+in :class:`repro.api.TuningRequest`.  Unknown fields are rejected —
+silently ignoring them would hide client typos (``"objectve"``) as
+wrong answers.
+
+Responses are envelopes tagged ``status``::
+
+    {"version": 1, "status": "ok", "result": {...TuningAnswer...},
+     "meta": {"cached": false, "coalesced": 3}}
+    {"version": 1, "status": "error",
+     "error": {"code": "bad-request", "message": "..."}}
+
+``result`` is exactly :meth:`repro.api.TuningAnswer.payload` — floats
+serialise via ``repr`` (shortest round trip), so a response body being
+byte-comparable means the answers are bit-identical.
+
+Malformed payloads raise :class:`~repro.errors.SchemaError` (shape/
+type/version problems); semantically invalid requests raise
+:class:`~repro.errors.TuningError` (unknown benchmark/objective, bad
+stride) from :meth:`TuningRequest.validate`.  The service maps both to
+structured error responses.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro import config
+from repro.api import TuningAnswer, TuningRequest
+from repro.errors import SchemaError
+
+__all__ = [
+    "WIRE_VERSION",
+    "ERROR_CODES",
+    "parse_request",
+    "request_payload",
+    "ok_response",
+    "error_response",
+]
+
+#: Bump on any incompatible change to the request or response shape.
+WIRE_VERSION = 1
+
+#: Every error code a response may carry.
+#:
+#: ``bad-request``     malformed payload (shape, types, version)
+#: ``bad-value``       well-formed but semantically invalid request
+#: ``quarantined``     the request's jobs are quarantined in the store
+#: ``execution-error`` the simulation failed definitively
+#: ``draining``        the service is shutting down; retry elsewhere
+#: ``internal``        unexpected server-side failure
+ERROR_CODES: tuple[str, ...] = (
+    "bad-request",
+    "bad-value",
+    "quarantined",
+    "execution-error",
+    "draining",
+    "internal",
+)
+
+#: Wire field -> (accepted types, default).  ``threads`` and ``tmm``
+#: are nullable; the rest must carry their type when present.
+_OPTIONAL_FIELDS: dict[str, tuple[tuple[type, ...], Any]] = {
+    "threads": ((int, type(None)), None),
+    "objective": ((str,), "energy"),
+    "tmm": ((str, type(None)), None),
+    "stride": ((int,), 1),
+    "node_id": ((int,), 0),
+    "seed": ((int,), config.DEFAULT_SEED),
+}
+
+
+def _type_names(types: tuple[type, ...]) -> str:
+    return " or ".join(
+        "null" if t is type(None) else t.__name__ for t in types
+    )
+
+
+def parse_request(payload: Any) -> TuningRequest:
+    """Parse and validate one wire request into a `TuningRequest`.
+
+    Raises :class:`SchemaError` on shape problems, and lets
+    :class:`~repro.errors.TuningError` from semantic validation
+    propagate (unknown benchmark, unknown objective, stride < 1).
+    """
+    if not isinstance(payload, dict):
+        raise SchemaError(
+            f"request must be a JSON object, got {type(payload).__name__}"
+        )
+    version = payload.get("version")
+    if version is None:
+        raise SchemaError("request is missing the 'version' field")
+    if version != WIRE_VERSION:
+        raise SchemaError(
+            f"unsupported wire version {version!r}; "
+            f"this server speaks version {WIRE_VERSION}"
+        )
+    benchmark = payload.get("benchmark")
+    if not isinstance(benchmark, str) or not benchmark:
+        raise SchemaError("'benchmark' must be a non-empty string")
+    known = {"version", "benchmark", *_OPTIONAL_FIELDS}
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        raise SchemaError(
+            f"unknown request field(s): {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(known))}"
+        )
+    values: dict[str, Any] = {}
+    for name, (types, default) in _OPTIONAL_FIELDS.items():
+        value = payload.get(name, default)
+        # bool is an int subclass; "threads": true must not parse.
+        if isinstance(value, bool) or not isinstance(value, types):
+            raise SchemaError(
+                f"'{name}' must be {_type_names(types)}, "
+                f"got {type(value).__name__}"
+            )
+        values[name] = value
+    request = TuningRequest(benchmark=benchmark, **values)
+    request.validate()
+    return request
+
+
+def request_payload(request: TuningRequest) -> dict[str, Any]:
+    """The wire form of a request (round-trips through `parse_request`)."""
+    return {
+        "version": WIRE_VERSION,
+        "benchmark": request.benchmark,
+        "threads": request.threads,
+        "objective": request.objective,
+        "tmm": request.tmm,
+        "stride": request.stride,
+        "node_id": request.node_id,
+        "seed": request.seed,
+    }
+
+
+def ok_response(
+    answer: TuningAnswer, *, meta: dict[str, Any] | None = None
+) -> dict[str, Any]:
+    """A success envelope around one tuning answer.
+
+    ``meta`` carries serving diagnostics (cache/coalescing facts) that
+    are explicitly *not* part of the answer: two responses for the same
+    request must have equal ``result`` regardless of how they were
+    produced, while ``meta`` may differ.
+    """
+    return {
+        "version": WIRE_VERSION,
+        "status": "ok",
+        "result": answer.payload(),
+        "meta": dict(meta or {}),
+    }
+
+
+def error_response(code: str, message: str) -> dict[str, Any]:
+    """A structured error envelope."""
+    if code not in ERROR_CODES:
+        raise SchemaError(
+            f"unknown error code: {code!r}; known: {ERROR_CODES}"
+        )
+    return {
+        "version": WIRE_VERSION,
+        "status": "error",
+        "error": {"code": code, "message": message},
+    }

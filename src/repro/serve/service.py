@@ -1,0 +1,399 @@
+"""The request lifecycle: admission → dedup → coalesce → execute → respond.
+
+:class:`TuningService` is the transport-agnostic core of ``repro-serve``
+(the HTTP front end in :mod:`repro.serve.server` is a thin shell around
+:meth:`TuningService.handle`, and the throughput benchmark drives
+``handle`` directly).  One request flows through four gates:
+
+1. **Admission** — parse and validate against the wire schema; while
+   draining, new work is refused with a ``draining`` error so clients
+   retry elsewhere.
+2. **Dedup** — an *exact* duplicate of an in-flight request joins its
+   future (zero extra work); a request whose grid rows are all in the
+   result store is answered from the store without touching the
+   execution path.  Result records always shadow failure records here —
+   a stale :class:`~repro.campaign.resilience.FailureRecord` left over
+   from a failed run that later succeeded must not quarantine a request
+   whose answer is sitting in the store (the same precedence
+   :meth:`CampaignEngine.run` applies).  Only when rows are *missing*
+   does a persisted failure record quarantine the request (unless the
+   service runs with ``retry_failed=True``).
+3. **Coalesce** — distinct pending requests sharing a grid key wait in
+   the :class:`~repro.serve.batcher.CoalescingBatcher` and are answered
+   from one pass of the sweep kernel.
+4. **Execute** — groups run on a single worker thread through the
+   campaign engine (store-backed caching plus the PR-7 retry/timeout
+   semantics); definitive failures come back as structured
+   ``quarantined`` / ``execution-error`` responses, never as a dead
+   connection.
+
+Graceful drain (:meth:`drain`): stop admitting, flush every pending
+group immediately, and wait for in-flight work — every accepted request
+gets its response before the process exits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro import api
+from repro.campaign.engine import (
+    CampaignEngine,
+    qualified_descriptor,
+    topology_job_key,
+)
+from repro.campaign.plan import grid_jobs
+from repro.campaign.resilience import FailureRecord, failure_descriptor
+from repro.campaign.store import ResultStore, job_key
+from repro.errors import (
+    CampaignExecutionError,
+    ReproError,
+    SchemaError,
+    TuningError,
+)
+from repro.execution.simulator import OperatingPoint
+from repro.serve import batcher as batching
+from repro.serve.schema import error_response, ok_response, parse_request
+
+__all__ = ["ServiceMetrics", "TuningService"]
+
+
+@dataclass
+class ServiceMetrics:
+    """Lifetime counters, exposed verbatim at ``GET /metrics``."""
+
+    requests: int = 0
+    ok: int = 0
+    errors: int = 0
+    #: Requests answered entirely from the result store.
+    cached_hits: int = 0
+    #: Requests that joined an identical in-flight request's future.
+    inflight_joins: int = 0
+    #: Requests refused because the service was draining.
+    drain_rejections: int = 0
+    #: Requests answered with a ``quarantined`` error.
+    quarantined: int = 0
+
+    def payload(self) -> dict[str, int]:
+        return {
+            "requests": self.requests,
+            "ok": self.ok,
+            "errors": self.errors,
+            "cached_hits": self.cached_hits,
+            "inflight_joins": self.inflight_joins,
+            "drain_rejections": self.drain_rejections,
+            "quarantined": self.quarantined,
+        }
+
+
+@dataclass
+class _Inflight:
+    """One in-flight identity: its future and how many callers wait."""
+
+    future: asyncio.Future
+    waiters: int = 1
+    coalesced_with: int = 0
+    extra: dict[str, Any] = field(default_factory=dict)
+
+
+class TuningService:
+    """Asyncio tuning service with store dedup and cross-request batching.
+
+    ``admission="batched"`` (the default) coalesces via the configured
+    ``max_batch``/``max_wait_s`` window; ``"unbatched"`` degrades to a
+    one-request-per-sweep service (the benchmark's control arm) while
+    keeping the rest of the lifecycle identical.  A ``store`` turns on
+    persistent dedup and quarantine; without one the service still
+    coalesces and joins in-flight duplicates, it just never remembers.
+    """
+
+    def __init__(
+        self,
+        *,
+        store: ResultStore | None = None,
+        max_batch: int = batching.DEFAULT_MAX_BATCH,
+        max_wait_s: float = batching.DEFAULT_MAX_WAIT_S,
+        admission: str = "batched",
+        retry_failed: bool = False,
+        retry_policy=None,
+    ):
+        if admission not in ("batched", "unbatched"):
+            raise SchemaError(
+                f"unknown admission mode: {admission!r}; "
+                "known: ('batched', 'unbatched')"
+            )
+        if admission == "unbatched":
+            max_batch, max_wait_s = 1, 0.0
+        self.admission = admission
+        self.retry_failed = retry_failed
+        self.metrics = ServiceMetrics()
+        self.batcher = batching.CoalescingBatcher(
+            max_batch=max_batch, max_wait_s=max_wait_s
+        )
+        engine_kwargs: dict[str, Any] = {"max_workers": 0}
+        if retry_policy is not None:
+            engine_kwargs["retry_policy"] = retry_policy
+        self.engine = (
+            CampaignEngine(store=store, **engine_kwargs)
+            if store is not None
+            else None
+        )
+        # "quarantine": definitive failures persist as FailureRecords
+        # (with a store), so later duplicates are refused instantly
+        # instead of re-simulating a known-bad job.
+        self.options = api.ExecutionOptions(
+            campaign=self.engine,
+            on_failure="quarantine",
+            retry_failed=retry_failed,
+        )
+        self._inflight: dict[api.TuningRequest, _Inflight] = {}
+        self._draining = False
+        self._group_tasks: set[asyncio.Task] = set()
+        # One worker thread: groups execute serially, so the engine and
+        # store never see concurrent in-process writers, and batched
+        # throughput gains come from doing fewer sweeps, not more cores.
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve"
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def metrics_payload(self) -> dict[str, Any]:
+        payload = self.metrics.payload()
+        payload.update(
+            admitted=self.batcher.admitted,
+            coalesced=self.batcher.coalesced,
+            groups_fired=self.batcher.groups_fired,
+            pending=self.batcher.pending,
+            inflight=len(self._inflight),
+        )
+        return payload
+
+    # ------------------------------------------------------------------
+    async def handle(self, payload: Any) -> dict[str, Any]:
+        """Serve one wire request; always returns a response envelope."""
+        self.metrics.requests += 1
+        response = await self._handle(payload)
+        if response.get("status") == "ok":
+            self.metrics.ok += 1
+        else:
+            self.metrics.errors += 1
+        return response
+
+    async def _handle(self, payload: Any) -> dict[str, Any]:
+        if self._draining:
+            self.metrics.drain_rejections += 1
+            return error_response(
+                "draining", "service is draining; resubmit elsewhere"
+            )
+        try:
+            request = parse_request(payload).resolved()
+        except SchemaError as exc:
+            return error_response("bad-request", str(exc))
+        except TuningError as exc:
+            return error_response("bad-value", str(exc))
+
+        # Exact in-flight duplicate: join its future.
+        entry = self._inflight.get(request)
+        if entry is not None:
+            entry.waiters += 1
+            self.metrics.inflight_joins += 1
+            return await asyncio.shield(entry.future)
+
+        # Store fast path: a fully cached grid answers without executing,
+        # and a persisted failure quarantines without executing.
+        if self.engine is not None and self.engine.store is not None:
+            hit = await self._from_store(request)
+            if hit is not None:
+                return hit
+
+        return await self._enqueue(request)
+
+    # ------------------------------------------------------------------
+    def _grid_jobs(self, request: api.TuningRequest):
+        cfs, ucfs = api.grid_axes(request.stride)
+        cluster = self.options.resolve_cluster(request.seed)
+        points = [
+            OperatingPoint(cf, ucf, request.threads)
+            for cf in cfs
+            for ucf in ucfs
+        ]
+        jobs = grid_jobs(
+            request.benchmark,
+            label="heatmap",
+            points=points,
+            node_id=request.node_id,
+            seed=request.seed,
+            node_seed=cluster.seed,
+        )
+        return jobs, cfs, ucfs
+
+    async def _from_store(self, request: api.TuningRequest) -> dict | None:
+        """Answer (or quarantine) one request from the result store.
+
+        Returns ``None`` when any grid row is missing *and* none of the
+        missing rows carries a failure record — the request then takes
+        the normal coalesce/execute path.  A result record always wins
+        over a failure record for the same job: stale quarantine
+        entries (failed once, re-run successfully later) never shadow a
+        stored answer.
+        """
+        store = self.engine.store
+        topology = self.engine.topology
+        jobs, cfs, ucfs = self._grid_jobs(request)
+        payloads = []
+        for job in jobs:
+            payload = store.get(topology_job_key(job, topology))
+            if payload is not None:
+                # Results shadow failure records, not the reverse.
+                payloads.append(payload)
+                continue
+            if not self.retry_failed:
+                failure = store.get(
+                    job_key(
+                        failure_descriptor(
+                            qualified_descriptor(job, topology)
+                        )
+                    )
+                )
+                if failure is not None:
+                    record = FailureRecord.from_payload(failure)
+                    self.metrics.quarantined += 1
+                    return error_response(
+                        "quarantined",
+                        f"job is quarantined: {record.describe()}; "
+                        "restart the service with --retry-failed to retry",
+                    )
+            return None
+        # TMM-carrying requests still need their dynamic run priced; let
+        # the execution path do it (the engine caches that job too).
+        if request.tmm is not None:
+            return None
+        shape = (len(cfs), len(ucfs))
+        grid = api.GridMeasurement(
+            benchmark=request.benchmark,
+            threads=request.threads,
+            node_id=request.node_id,
+            seed=request.seed,
+            core_frequencies=cfs,
+            uncore_frequencies=ucfs,
+            node_energy_j=np.array(
+                [e for p in payloads for e in p["node_energy_j"]]
+            ).reshape(shape),
+            cpu_energy_j=np.array(
+                [e for p in payloads for e in p["cpu_energy_j"]]
+            ).reshape(shape),
+            time_s=np.array(
+                [t for p in payloads for t in p["time_s"]]
+            ).reshape(shape),
+        )
+        self.metrics.cached_hits += 1
+        return ok_response(
+            grid.answer(request), meta={"cached": True, "coalesced": 0}
+        )
+
+    # ------------------------------------------------------------------
+    async def _enqueue(self, request: api.TuningRequest) -> dict[str, Any]:
+        loop = asyncio.get_running_loop()
+        entry = _Inflight(future=loop.create_future())
+        self._inflight[request] = entry
+        key = request.grid_key()
+        _, started, fire = self.batcher.admit(request)
+        if fire:
+            self._fire(key)
+        elif started:
+            task = loop.create_task(self._fire_later(key))
+            self._group_tasks.add(task)
+            task.add_done_callback(self._group_tasks.discard)
+        return await asyncio.shield(entry.future)
+
+    async def _fire_later(self, key: tuple) -> None:
+        await asyncio.sleep(self.batcher.max_wait_s)
+        self._fire(key)
+
+    def _fire(self, key: tuple) -> None:
+        group = self.batcher.pop(key)
+        if group is None:
+            return  # already fired (max_batch or drain beat the timer)
+        task = asyncio.get_running_loop().create_task(
+            self._execute_group(group)
+        )
+        self._group_tasks.add(task)
+        task.add_done_callback(self._group_tasks.discard)
+
+    async def _execute_group(self, group: batching.PendingGroup) -> None:
+        loop = asyncio.get_running_loop()
+        coalesced = len(group.requests) - 1
+        try:
+            answers = await loop.run_in_executor(
+                self._executor,
+                batching.answer_group,
+                group.requests,
+                self.options,
+            )
+        except ReproError as exc:
+            response = self._failure_response(exc)
+            if response["error"]["code"] == "quarantined":
+                self.metrics.quarantined += len(group.requests)
+            for request in group.requests:
+                self._resolve(request, dict(response))
+            return
+        for request, answer in zip(group.requests, answers):
+            self._resolve(
+                request,
+                ok_response(
+                    answer, meta={"cached": False, "coalesced": coalesced}
+                ),
+            )
+
+    def _failure_response(self, exc: ReproError) -> dict[str, Any]:
+        # Under on_failure="quarantine" a failed job surfaces when the
+        # facade indexes its missing payload: a CampaignError naming the
+        # failure and the retry_failed remedy.  Both that and an
+        # explicit CampaignExecutionError mean "this job is known bad".
+        if isinstance(exc, CampaignExecutionError):
+            detail = "; ".join(
+                record.describe() for record in exc.failures.values()
+            )
+            return error_response("quarantined", detail or str(exc))
+        if "retry_failed" in str(exc):
+            return error_response("quarantined", str(exc))
+        return error_response("execution-error", str(exc))
+
+    def _resolve(self, request: api.TuningRequest, response: dict) -> None:
+        entry = self._inflight.pop(request, None)
+        if entry is not None and not entry.future.done():
+            entry.future.set_result(response)
+
+    # ------------------------------------------------------------------
+    async def drain(self) -> None:
+        """Stop admitting, flush pending groups, await in-flight work."""
+        self._draining = True
+        for group in self.batcher.drain():
+            task = asyncio.get_running_loop().create_task(
+                self._execute_group(group)
+            )
+            self._group_tasks.add(task)
+            task.add_done_callback(self._group_tasks.discard)
+        while self._group_tasks:
+            await asyncio.gather(
+                *list(self._group_tasks), return_exceptions=True
+            )
+        futures = [e.future for e in self._inflight.values()]
+        if futures:
+            await asyncio.gather(*futures, return_exceptions=True)
+
+    async def aclose(self) -> None:
+        """Drain, then release the worker thread and flush the store."""
+        await self.drain()
+        self._executor.shutdown(wait=True)
+        if self.engine is not None and self.engine.store is not None:
+            self.engine.store.flush()

@@ -7,7 +7,14 @@
 ``repro-measure-rapl``  run a benchmark and report CPU energy via RAPL
 ``repro-otf2-parser``   post-process a trace file (energy + phase PAPI)
 ``repro-campaign``      plan / run / inspect experiment campaigns
+``repro-serve``         HTTP tuning service (entry point lives in
+                        :mod:`repro.serve.server`)
 ================  =========================================================
+
+Exit codes follow one convention across the campaign-backed tools:
+``0`` success, ``2`` argparse usage errors, ``3`` definitive job
+failures (``repro-campaign run``, ``repro-tune --json``), ``130`` a
+graceful SIGINT/SIGTERM drain (``repro-campaign run``, ``repro-serve``).
 """
 
 from __future__ import annotations
@@ -60,11 +67,65 @@ def main_dyn_detect(argv: list[str] | None = None) -> int:
     return 0
 
 
+def _tune_json(args: argparse.Namespace) -> int:
+    """One-shot ``repro-tune --json``: the serving wire schema, offline.
+
+    Prints exactly one response envelope (the same versioned schema
+    ``repro-serve`` speaks) on stdout and exits 0 on ``status: ok`` or
+    3 on an error envelope — mirroring ``repro-campaign run``'s
+    failure exit code, so scripts can pipe either.
+    """
+    import json
+
+    from repro import api
+    from repro.errors import (
+        CampaignExecutionError,
+        ReproError,
+        TuningError,
+    )
+    from repro.serve.schema import error_response, ok_response
+
+    request = api.TuningRequest(
+        benchmark=args.benchmark,
+        threads=args.threads,
+        objective=args.objective,
+        stride=args.stride,
+        node_id=args.node_id,
+        seed=args.seed,
+    )
+    try:
+        request.validate()
+        options = api.ExecutionOptions()
+        if args.store is not None:
+            from repro.campaign.engine import CampaignEngine
+            from repro.campaign.store import ResultStore
+
+            options = api.ExecutionOptions(
+                campaign=CampaignEngine(
+                    store=ResultStore(args.store), max_workers=0
+                )
+            )
+        answer = api.tune(request, options)
+    except TuningError as exc:
+        print(json.dumps(error_response("bad-value", str(exc))))
+        return 3
+    except CampaignExecutionError as exc:
+        print(json.dumps(error_response("quarantined", str(exc))))
+        return 3
+    except ReproError as exc:
+        print(json.dumps(error_response("execution-error", str(exc))))
+        return 3
+    print(json.dumps(ok_response(answer, meta={"coalesced": 0, "offline": True})))
+    return 0
+
+
 def main_tune(argv: list[str] | None = None) -> int:
-    """``repro-tune BENCH [-o tmm.json] [--epochs N]``"""
+    """``repro-tune BENCH [-o tmm.json] [--epochs N] [--json ...]``"""
     parser = argparse.ArgumentParser(
         prog="repro-tune",
-        description="Run the full design-time analysis and emit a tuning model.",
+        description="Run the full design-time analysis and emit a tuning "
+        "model; with --json, answer one grid-tuning request offline in "
+        "the repro-serve wire schema instead.",
     )
     _benchmark_arg(parser)
     parser.add_argument("-o", "--output", default="tuning_model.json")
@@ -76,7 +137,23 @@ def main_tune(argv: list[str] | None = None) -> int:
         default=[12, 24],
         help="thread counts for training-data acquisition (fewer = faster)",
     )
+    json_group = parser.add_argument_group(
+        "wire-schema mode (--json)",
+        "answer one tuning request offline and print the versioned "
+        "response envelope (exit 0 on ok, 3 on an error envelope)",
+    )
+    json_group.add_argument("--json", action="store_true")
+    json_group.add_argument("--objective", default="energy")
+    json_group.add_argument("--stride", type=int, default=1)
+    json_group.add_argument("--threads", type=int, default=None)
+    json_group.add_argument("--node-id", type=int, default=0)
+    json_group.add_argument("--seed", type=int, default=config.DEFAULT_SEED)
+    json_group.add_argument(
+        "--store", default=None, help="result store for cached execution"
+    )
     args = parser.parse_args(argv)
+    if args.json:
+        return _tune_json(args)
 
     from repro.modeling.dataset import build_dataset
     from repro.modeling.training import TrainingConfig, train_network

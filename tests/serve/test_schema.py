@@ -1,0 +1,117 @@
+"""Wire-schema tests: round-trips, shape errors, semantic errors."""
+
+import pytest
+
+from repro import config
+from repro.api import TuningRequest
+from repro.errors import SchemaError, TuningError
+from repro.serve.schema import (
+    ERROR_CODES,
+    WIRE_VERSION,
+    error_response,
+    ok_response,
+    parse_request,
+    request_payload,
+)
+
+
+def wire(**overrides):
+    payload = {"version": WIRE_VERSION, "benchmark": "EP"}
+    payload.update(overrides)
+    return payload
+
+
+class TestParseRequest:
+    def test_minimal_request_fills_defaults(self):
+        request = parse_request(wire())
+        assert request.benchmark == "EP"
+        assert request.threads is None
+        assert request.objective == "energy"
+        assert request.tmm is None
+        assert request.stride == 1
+        assert request.node_id == 0
+        assert request.seed == config.DEFAULT_SEED
+
+    def test_round_trip_through_request_payload(self):
+        request = parse_request(
+            wire(threads=12, objective="edp", stride=3, node_id=1, seed=7)
+        )
+        assert parse_request(request_payload(request)) == request
+
+    def test_round_trip_preserves_every_field(self):
+        request = TuningRequest(
+            "Lulesh", threads=12, objective="ed2p", stride=2, node_id=1, seed=9
+        )
+        assert parse_request(request_payload(request)) == request
+
+    def test_non_object_payload_rejected(self):
+        with pytest.raises(SchemaError, match="JSON object"):
+            parse_request([wire()])
+
+    def test_missing_version_rejected(self):
+        with pytest.raises(SchemaError, match="version"):
+            parse_request({"benchmark": "EP"})
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(SchemaError, match="unsupported wire version"):
+            parse_request(wire(version=WIRE_VERSION + 1))
+
+    def test_missing_benchmark_rejected(self):
+        with pytest.raises(SchemaError, match="benchmark"):
+            parse_request({"version": WIRE_VERSION})
+
+    def test_unknown_field_rejected_and_named(self):
+        with pytest.raises(SchemaError, match="objectve"):
+            parse_request(wire(objectve="energy"))
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("threads", "24"),
+            ("threads", True),
+            ("objective", 3),
+            ("tmm", 1),
+            ("stride", 1.5),
+            ("node_id", None),
+            ("seed", "42"),
+        ],
+    )
+    def test_wrong_types_rejected(self, field, value):
+        with pytest.raises(SchemaError, match=field):
+            parse_request(wire(**{field: value}))
+
+    def test_semantic_errors_are_tuning_errors(self):
+        with pytest.raises(TuningError):
+            parse_request(wire(benchmark="NoSuchBench"))
+        with pytest.raises(TuningError):
+            parse_request(wire(objective="nope"))
+        with pytest.raises(TuningError):
+            parse_request(wire(stride=0))
+
+
+class TestResponses:
+    def test_error_response_shape(self):
+        envelope = error_response("bad-request", "nope")
+        assert envelope == {
+            "version": WIRE_VERSION,
+            "status": "error",
+            "error": {"code": "bad-request", "message": "nope"},
+        }
+
+    def test_unknown_error_code_rejected(self):
+        with pytest.raises(SchemaError, match="unknown error code"):
+            error_response("not-a-code", "x")
+
+    @pytest.mark.parametrize("code", ERROR_CODES)
+    def test_every_declared_code_usable(self, code):
+        assert error_response(code, "m")["error"]["code"] == code
+
+    def test_ok_response_wraps_answer_payload(self):
+        from repro import api
+
+        answer = api.tune(api.TuningRequest("EP", stride=7))
+        envelope = ok_response(answer, meta={"coalesced": 2})
+        assert envelope["version"] == WIRE_VERSION
+        assert envelope["status"] == "ok"
+        assert envelope["result"] == answer.payload()
+        assert envelope["meta"] == {"coalesced": 2}

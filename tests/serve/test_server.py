@@ -1,0 +1,172 @@
+"""Live-server integration: real sockets, concurrent clients, SIGTERM.
+
+The in-process tests bind a :class:`TuningServer` to an ephemeral port
+and speak actual HTTP/1.1 over asyncio streams; the subprocess test
+runs ``python -m repro.serve.server`` end to end and asserts the
+documented drain contract (SIGTERM → responses still delivered →
+exit code 130).
+"""
+
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro import api
+from repro.serve.schema import WIRE_VERSION
+from repro.serve.server import DRAIN_EXIT_CODE, TuningServer
+from repro.serve.service import TuningService
+
+
+async def http(host, port, method, path, body=None):
+    reader, writer = await asyncio.open_connection(host, port)
+    data = b"" if body is None else json.dumps(body).encode("utf-8")
+    request = (
+        f"{method} {path} HTTP/1.1\r\nHost: {host}\r\n"
+        f"Content-Length: {len(data)}\r\n\r\n"
+    ).encode("ascii") + data
+    writer.write(request)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    head, _, payload = raw.partition(b"\r\n\r\n")
+    return int(head.split()[1]), json.loads(payload)
+
+
+class TestLiveServer:
+    def test_concurrent_clients_coalesce_and_match_offline(self):
+        async def scenario():
+            service = TuningService(max_batch=8, max_wait_s=0.05)
+            server = TuningServer(service, port=0)
+            host, port = await server.start()
+            payloads = [
+                {
+                    "version": WIRE_VERSION,
+                    "benchmark": "EP",
+                    "stride": 7,
+                    "objective": objective,
+                }
+                for objective in ("energy", "edp", "ed2p")
+            ]
+            responses = await asyncio.gather(
+                *(http(host, port, "POST", "/v1/tune", p) for p in payloads)
+            )
+            _, metrics = await http(host, port, "GET", "/metrics")
+            _, health = await http(host, port, "GET", "/healthz")
+            await server.aclose()
+            return payloads, responses, metrics, health
+
+        payloads, responses, metrics, health = asyncio.run(scenario())
+        assert health == {"status": "ok", "draining": False}
+        assert metrics["coalesced"] >= 1
+        for payload, (status, envelope) in zip(payloads, responses):
+            assert status == 200
+            offline = api.tune(
+                api.TuningRequest(
+                    "EP", stride=7, objective=payload["objective"]
+                )
+            )
+            assert envelope["result"] == offline.payload()
+
+    def test_http_error_mapping(self):
+        async def scenario():
+            service = TuningService(max_wait_s=0.0)
+            server = TuningServer(service, port=0)
+            host, port = await server.start()
+            results = {
+                "bad_version": await http(
+                    host, port, "POST", "/v1/tune",
+                    {"version": 99, "benchmark": "EP"},
+                ),
+                "bad_value": await http(
+                    host, port, "POST", "/v1/tune",
+                    {"version": WIRE_VERSION, "benchmark": "NoSuch"},
+                ),
+                "not_json": None,
+                "no_route": await http(host, port, "GET", "/nope"),
+                "wrong_method": await http(host, port, "GET", "/v1/tune"),
+            }
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(
+                b"POST /v1/tune HTTP/1.1\r\nContent-Length: 3\r\n\r\n{{{"
+            )
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            await writer.wait_closed()
+            results["not_json"] = int(raw.split()[1])
+            await server.aclose()
+            return results
+
+        results = asyncio.run(scenario())
+        assert results["bad_version"][0] == 400
+        assert results["bad_value"][0] == 400
+        assert results["bad_value"][1]["error"]["code"] == "bad-value"
+        assert results["not_json"] == 400
+        assert results["no_route"][0] == 404
+        assert results["wrong_method"][0] == 405
+
+
+class TestSubprocessDrain:
+    # real process, real SIGTERM: runs with the chaos suite, like the
+    # campaign drain tests
+    @pytest.mark.chaos
+    def test_sigterm_drains_and_exits_130(self, tmp_path):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            filter(None, [str(_repo_src()), env.get("PYTHONPATH", "")])
+        )
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.serve.server",
+                "--port",
+                "0",
+                "--max-wait-ms",
+                "10",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+        try:
+            banner = process.stdout.readline().strip()
+            assert banner.startswith("serving on http://"), banner
+            port = int(banner.rsplit(":", 1)[1])
+
+            async def one_request():
+                return await http(
+                    "127.0.0.1",
+                    port,
+                    "POST",
+                    "/v1/tune",
+                    {"version": WIRE_VERSION, "benchmark": "EP", "stride": 7},
+                )
+
+            status, envelope = asyncio.run(one_request())
+            assert status == 200
+            offline = api.tune(api.TuningRequest("EP", stride=7))
+            assert envelope["result"] == offline.payload()
+
+            process.send_signal(signal.SIGTERM)
+            deadline = time.monotonic() + 30
+            while process.poll() is None and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert process.poll() == DRAIN_EXIT_CODE, process.stderr.read()
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait()
+
+
+def _repo_src():
+    here = os.path.dirname(os.path.abspath(__file__))
+    return os.path.join(os.path.dirname(os.path.dirname(here)), "src")

@@ -149,21 +149,26 @@ def render(report: dict) -> str:
 def _compare():
     from benchmarks._common import campaign_engine, cluster, static_result, tuned_outcome
 
-    rows = []
+    from repro.analysis.savings import SavingsCase, compare_static_dynamic_many
+
+    cases = []
     for name in registry.TEST_BENCHMARKS:
         outcome = tuned_outcome(name)
-        rows.append(
-            compare_static_dynamic(
-                name,
-                static_result(name).best,
-                outcome.tuning_model,
+        cases.append(
+            SavingsCase(
+                benchmark=name,
+                static_config=static_result(name).best,
+                tuning_model=outcome.tuning_model,
                 instrumentation=outcome.instrumentation,
-                cluster=cluster(),
-                runs=5,
-                options=ExecutionOptions(campaign=campaign_engine()),
             )
         )
-    return rows
+    # One fleet campaign run prices every benchmark's four variants.
+    return compare_static_dynamic_many(
+        cases,
+        cluster=cluster(),
+        runs=5,
+        options=ExecutionOptions(campaign=campaign_engine()),
+    )
 
 
 def test_table6_static_vs_dynamic(benchmark):

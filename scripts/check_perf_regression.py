@@ -42,6 +42,7 @@ GATED_METRICS: dict[str, tuple[str, ...]] = {
         "backends.segment.cold_open_speedup",
     ),
     "serving_throughput": ("aggregate.speedup",),
+    "paper_regen": ("aggregate.speedup",),
 }
 
 #: Dotted paths of boolean flags that must be true, per report kind.
@@ -56,6 +57,7 @@ REQUIRED_FLAGS: dict[str, tuple[str, ...]] = {
         "aggregate.responses_identical",
         "aggregate.coalescing_engaged",
     ),
+    "paper_regen": ("aggregate.artifacts_identical",),
 }
 
 

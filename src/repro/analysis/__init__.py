@@ -14,7 +14,12 @@ Each module computes the data behind one piece of the evaluation:
 
 from repro.analysis.variability import VariabilityStudy, variability_study
 from repro.analysis.heatmap import EnergyHeatmap, energy_heatmap
-from repro.analysis.savings import BenchmarkSavings, compare_static_dynamic
+from repro.analysis.savings import (
+    BenchmarkSavings,
+    SavingsCase,
+    compare_static_dynamic,
+    compare_static_dynamic_many,
+)
 from repro.analysis.tuning_time import tuning_time_comparison
 from repro.analysis.tradeoffs import TradeoffPoint, energy_time_tradeoff
 
@@ -24,7 +29,9 @@ __all__ = [
     "EnergyHeatmap",
     "energy_heatmap",
     "BenchmarkSavings",
+    "SavingsCase",
     "compare_static_dynamic",
+    "compare_static_dynamic_many",
     "tuning_time_comparison",
     "TradeoffPoint",
     "energy_time_tradeoff",

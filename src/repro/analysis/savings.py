@@ -345,7 +345,8 @@ def _compare_via_campaign(
     )
     jobs = tuple(job for batch in batches.values() for job in batch)
     results = run_app_jobs(
-        jobs, registry.build(benchmark), cluster=cluster, engine=campaign
+        jobs, registry.build(benchmark), cluster=cluster, engine=campaign,
+        fleet=True,
     )
     return BenchmarkSavings(
         benchmark=benchmark,
@@ -355,3 +356,97 @@ def _compare_via_campaign(
         dynamic=_averaged_jobs(results, batches["dynamic"]),
         config_only=_averaged_jobs(results, batches["config-only"]),
     )
+
+
+@dataclass(frozen=True)
+class SavingsCase:
+    """One Table VI row's inputs, as a value — the unit
+    :func:`compare_static_dynamic_many` batches over."""
+
+    benchmark: str
+    static_config: OperatingPoint
+    tuning_model: TuningModel
+    instrumentation: Instrumentation | None = None
+
+
+def compare_static_dynamic_many(
+    cases: "list[SavingsCase] | tuple[SavingsCase, ...]",
+    *,
+    cluster: Cluster | None = None,
+    node_id: int = 0,
+    runs: int = 5,
+    seed: int = config.DEFAULT_SEED,
+    options: api.ExecutionOptions | None = None,
+) -> list[BenchmarkSavings]:
+    """Produce many Table VI rows from one batched campaign run.
+
+    The multi-benchmark generalisation of
+    :func:`compare_static_dynamic`: with ``options.campaign``, every
+    case's four run variants go into a *single* campaign plan executed
+    with the fleet strategy, so all benchmarks' default / static /
+    dynamic / config-only runs share fleet-kernel invocations (and the
+    engine's result store caches each row under its usual per-job key).
+    Each returned row is bit-identical to its solo
+    ``compare_static_dynamic`` call.  Without a campaign engine the
+    cases simply run one at a time.
+    """
+    opts = api.resolve_options(
+        options,
+        site="repro.analysis.savings.compare_static_dynamic_many",
+    )
+    if cluster is not None:
+        opts = replace(opts, cluster=cluster)
+    validate_engine(opts.engine)
+    if opts.campaign is None:
+        return [
+            compare_static_dynamic(
+                case.benchmark, case.static_config, case.tuning_model,
+                instrumentation=case.instrumentation, node_id=node_id,
+                runs=runs, seed=seed, options=opts,
+            )
+            for case in cases
+        ]
+    if opts.engine != "auto":
+        raise CampaignError(
+            "campaign-backed savings runs are engine-independent; "
+            "pass engine='auto'"
+        )
+    resolved_cluster = opts.resolve_cluster(seed)
+    if opts.campaign.topology != resolved_cluster.topology:
+        raise CampaignError(
+            f"campaign engine topology {opts.campaign.topology!r} does "
+            f"not match the cluster's {resolved_cluster.topology!r}"
+        )
+    from repro.campaign.plan import CampaignPlan
+
+    case_batches = [
+        savings_campaign_jobs(
+            case.benchmark, case.static_config, case.tuning_model,
+            instrumentation=case.instrumentation, node_id=node_id,
+            runs=runs, seed=seed, node_seed=resolved_cluster.seed,
+        )
+        for case in cases
+    ]
+    all_jobs = tuple(
+        job
+        for batches in case_batches
+        for batch in batches.values()
+        for job in batch
+    )
+    results = opts.campaign.run(
+        CampaignPlan(all_jobs),
+        on_failure=opts.on_failure,
+        retry_failed=opts.retry_failed,
+        fleet=True,
+    )
+    return [
+        BenchmarkSavings(
+            benchmark=case.benchmark,
+            static_config=case.static_config,
+            default=_averaged_jobs(results, batches["default"]),
+            static=_averaged_jobs(results, batches["static"]),
+            dynamic=_averaged_jobs(results, batches["dynamic"]),
+            config_only=_averaged_jobs(results, batches["config-only"]),
+        )
+        for case, batches in zip(cases, case_batches)
+    ]

@@ -6,6 +6,14 @@ absolute energies spread node-to-node (manufacturing variability), but
 normalising each node's series by its own energy at the calibration
 point collapses the spread — which is why the model predicts
 *normalized* energy.
+
+The study is a natural fleet: the same application at many
+(node x operating point) coordinates.  The default engine batches every
+cell of the sweep — all nodes, all frequencies, plus each node's
+calibration run — into one pass through the fleet replay kernel
+(:mod:`repro.execution.fleet_replay`); ``engine="loop"`` runs the
+original per-cell simulator loop, bit-identical by construction (the
+equality is pinned by ``tests/analysis/test_variability.py``).
 """
 
 from __future__ import annotations
@@ -15,9 +23,13 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro import config
-from repro.execution.simulator import ExecutionSimulator
+from repro.execution.simulator import ExecutionSimulator, OperatingPoint
 from repro.hardware.cluster import Cluster
 from repro.workloads import registry
+
+#: Execution engines for the sweep: the batched fleet kernel or the
+#: per-cell reference loop.
+ENGINES: tuple[str, ...] = ("fleet", "loop")
 
 
 @dataclass
@@ -57,6 +69,7 @@ def variability_study(
     threads: int = config.DEFAULT_OPENMP_THREADS,
     cluster: Cluster | None = None,
     seed: int = config.DEFAULT_SEED,
+    engine: str = "fleet",
 ) -> VariabilityStudy:
     """Reproduce the Figure 2 (axis="core") / Figure 3 (axis="uncore") data.
 
@@ -71,23 +84,53 @@ def variability_study(
         points = [(config.CALIBRATION_CORE_FREQ_GHZ, ucf) for ucf in frequencies]
     else:
         raise ValueError(f"axis must be 'core' or 'uncore', got {axis!r}")
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
     cluster = cluster or Cluster(max(nodes) + 1, seed=seed)
     def app_builder():
         return registry.build(benchmark)
 
-    raw: dict[int, np.ndarray] = {}
-    normalized: dict[int, np.ndarray] = {}
     cal_point = (
         config.CALIBRATION_CORE_FREQ_GHZ,
         config.CALIBRATION_UNCORE_FREQ_GHZ,
     )
+    if engine == "fleet":
+        energies = _fleet_energies(
+            app_builder(), points, cal_point, nodes, threads, cluster, seed,
+            axis,
+        )
+    else:
+        energies = _loop_energies(
+            app_builder, points, cal_point, nodes, threads, cluster, seed,
+            axis,
+        )
+    raw: dict[int, np.ndarray] = {}
+    normalized: dict[int, np.ndarray] = {}
+    for node_id in nodes:
+        series, cal_energy = energies[node_id]
+        raw[node_id] = np.asarray(series)
+        normalized[node_id] = np.asarray(series) / cal_energy
+    return VariabilityStudy(
+        benchmark=benchmark,
+        axis=axis,
+        frequencies=frequencies,
+        raw_energy_j=raw,
+        normalized_energy=normalized,
+    )
+
+
+def _loop_energies(app_builder, points, cal_point, nodes, threads, cluster,
+                   seed, axis):
+    """The per-cell reference: one simulator pass per (node, point)."""
+    energies = {}
     for node_id in nodes:
         series = []
         for cf, ucf in points:
             node = cluster.fresh_node(node_id)
             node.set_frequencies(cf, ucf)
             run = ExecutionSimulator(node, seed=seed).run(
-                app_builder(), threads=threads, run_key=("variability", axis, cf, ucf)
+                app_builder(), threads=threads,
+                run_key=("variability", axis, cf, ucf),
             )
             series.append(run.node_energy_j)
         # Calibration energy for this node (measured in the same sweep when
@@ -100,12 +143,48 @@ def variability_study(
             cal_energy = ExecutionSimulator(node, seed=seed).run(
                 app_builder(), threads=threads, run_key=("variability-cal",)
             ).node_energy_j
-        raw[node_id] = np.asarray(series)
-        normalized[node_id] = np.asarray(series) / cal_energy
-    return VariabilityStudy(
-        benchmark=benchmark,
-        axis=axis,
-        frequencies=frequencies,
-        raw_energy_j=raw,
-        normalized_energy=normalized,
-    )
+        energies[node_id] = (series, cal_energy)
+    return energies
+
+
+def _fleet_energies(app, points, cal_point, nodes, threads, cluster, seed,
+                    axis):
+    """Every (node, point) cell — and each node's calibration run when
+    the axis misses the calibration point — as members of one fleet."""
+    from repro.execution.fleet_replay import FleetMember, fleet_run
+
+    needs_cal = cal_point not in points
+
+    def member(node_id, cf, ucf, run_key):
+        return FleetMember(
+            app=app,
+            run_key=run_key,
+            node_id=node_id,
+            seed=seed,
+            node_seed=cluster.seed,
+            topology=cluster.topology,
+            point=OperatingPoint(cf, ucf, threads),
+            threads=threads,
+        )
+
+    members = []
+    for node_id in nodes:
+        for cf, ucf in points:
+            members.append(
+                member(node_id, cf, ucf, ("variability", axis, cf, ucf))
+            )
+        if needs_cal:
+            members.append(member(node_id, *cal_point, ("variability-cal",)))
+    fleet = fleet_run(members)
+    stride = len(points) + (1 if needs_cal else 0)
+    energies = {}
+    for i, node_id in enumerate(nodes):
+        rows = fleet.results[i * stride:(i + 1) * stride]
+        series = [r.node_energy_j for r in rows[:len(points)]]
+        cal_energy = (
+            rows[-1].node_energy_j
+            if needs_cal
+            else series[points.index(cal_point)]
+        )
+        energies[node_id] = (series, cal_energy)
+    return energies

@@ -64,6 +64,7 @@ __all__ = [
     "MEASUREMENTS",
     "ExecutionOptions",
     "GridMeasurement",
+    "GridSpec",
     "DynamicOutcome",
     "TuningAnswer",
     "TuningRequest",
@@ -71,6 +72,7 @@ __all__ = [
     "grid_axes",
     "resolve_options",
     "sweep_grid",
+    "sweep_grids",
     "tune",
     "replay",
     "savings",
@@ -299,6 +301,16 @@ class TuningRequest:
             self.stride,
             self.node_id,
             self.seed,
+        )
+
+    def grid_spec(self) -> "GridSpec":
+        """The measurement this request needs, as a :class:`GridSpec`."""
+        return GridSpec(
+            benchmark=self.benchmark,
+            threads=self.threads,
+            stride=self.stride,
+            node_id=self.node_id,
+            seed=self.seed,
         )
 
 
@@ -589,6 +601,172 @@ def sweep_grid(
         cpu_energy_j=cpu,
         time_s=times,
     )
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """One grid measurement's identity — :func:`sweep_grid`'s arguments
+    as a value, so many grids can be requested at once."""
+
+    benchmark: str
+    threads: int | None = None
+    stride: int = 1
+    node_id: int = 0
+    seed: int = config.DEFAULT_SEED
+
+
+def sweep_grids(
+    specs: "list[GridSpec] | tuple[GridSpec, ...]",
+    *,
+    options: ExecutionOptions | None = None,
+) -> list[GridMeasurement]:
+    """Measure many CF x UCF grids — across benchmarks, thread counts,
+    nodes and seeds — in one batched pass.
+
+    This is the multi-grid generalisation of :func:`sweep_grid`: every
+    cell of every grid becomes one member of a single fleet-kernel
+    invocation (:func:`repro.execution.fleet_replay.fleet_run`), so the
+    structural schedules compile once per application, the keyed noise
+    for the whole fleet is drawn in one batched pass, and pricing is a
+    handful of padded-matrix folds instead of one engine pass per grid.
+    Each returned grid is bit-identical to ``sweep_grid`` of its spec —
+    batch-mates never change a cell.
+
+    With ``options.campaign``, all grids go into one campaign plan
+    executed with the fleet strategy (``fleet=True``) — rows cache
+    under their usual per-job store keys.  ``options.engine="loop"``
+    falls back to the per-cell reference loop, one grid at a time.
+    """
+    options = options if options is not None else ExecutionOptions()
+    specs = list(specs)
+    engine = options.grid_engine()
+    if engine == "loop" or len(specs) == 0:
+        return [
+            sweep_grid(
+                s.benchmark,
+                threads=s.threads,
+                stride=s.stride,
+                node_id=s.node_id,
+                seed=s.seed,
+                options=options,
+            )
+            for s in specs
+        ]
+
+    # Resolve each spec exactly as sweep_grid would.
+    resolved = []
+    for s in specs:
+        app = registry.build(s.benchmark)
+        threads = s.threads if s.threads is not None else app.default_threads
+        cfs, ucfs = grid_axes(s.stride)
+        cluster = options.resolve_cluster(s.seed)
+        cluster.check_node_id(s.node_id)
+        points = [
+            OperatingPoint(cf, ucf, threads) for cf in cfs for ucf in ucfs
+        ]
+        resolved.append((s, app, threads, cfs, ucfs, cluster, points))
+
+    if options.campaign is not None:
+        from repro.campaign.plan import CampaignPlan, grid_jobs
+
+        all_jobs: list = []
+        spec_jobs: list[tuple] = []
+        for s, app, threads, cfs, ucfs, cluster, points in resolved:
+            if options.campaign.topology != cluster.topology:
+                raise CampaignError(
+                    f"campaign engine topology "
+                    f"{options.campaign.topology!r} does not match the "
+                    f"cluster's {cluster.topology!r}"
+                )
+            jobs = grid_jobs(
+                s.benchmark,
+                label="heatmap",
+                points=points,
+                node_id=s.node_id,
+                seed=s.seed,
+                node_seed=cluster.seed,
+            )
+            spec_jobs.append(jobs)
+            all_jobs.extend(jobs)
+        results = options.campaign.run(
+            CampaignPlan(tuple(all_jobs)),
+            on_failure=options.on_failure,
+            retry_failed=options.retry_failed,
+            fleet=True,
+        )
+        grids = []
+        for (s, app, threads, cfs, ucfs, cluster, points), jobs in zip(
+            resolved, spec_jobs
+        ):
+            payloads = [results[job] for job in jobs]
+            shape = (len(cfs), len(ucfs))
+            grids.append(
+                GridMeasurement(
+                    benchmark=s.benchmark,
+                    threads=threads,
+                    node_id=s.node_id,
+                    seed=s.seed,
+                    core_frequencies=cfs,
+                    uncore_frequencies=ucfs,
+                    node_energy_j=np.array(
+                        [e for p in payloads for e in p["node_energy_j"]]
+                    ).reshape(shape),
+                    cpu_energy_j=np.array(
+                        [e for p in payloads for e in p["cpu_energy_j"]]
+                    ).reshape(shape),
+                    time_s=np.array(
+                        [t for p in payloads for t in p["time_s"]]
+                    ).reshape(shape),
+                )
+            )
+        return grids
+
+    from repro.execution.fleet_replay import FleetMember, fleet_run
+
+    members: list[FleetMember] = []
+    spans: list[tuple[int, int]] = []
+    for s, app, threads, cfs, ucfs, cluster, points in resolved:
+        start = len(members)
+        for point in points:
+            members.append(
+                FleetMember(
+                    app=app,
+                    run_key=(
+                        "heatmap", point.core_freq_ghz, point.uncore_freq_ghz
+                    ),
+                    node_id=s.node_id,
+                    seed=s.seed,
+                    node_seed=cluster.seed,
+                    topology=cluster.topology,
+                    point=point,
+                )
+            )
+        spans.append((start, len(points)))
+    fleet = fleet_run(members)
+    grids = []
+    for (s, app, threads, cfs, ucfs, cluster, points), (start, count) in zip(
+        resolved, spans
+    ):
+        rows = fleet.results[start:start + count]
+        shape = (len(cfs), len(ucfs))
+        grids.append(
+            GridMeasurement(
+                benchmark=s.benchmark,
+                threads=threads,
+                node_id=s.node_id,
+                seed=s.seed,
+                core_frequencies=cfs,
+                uncore_frequencies=ucfs,
+                node_energy_j=np.array(
+                    [r.node_energy_j for r in rows]
+                ).reshape(shape),
+                cpu_energy_j=np.array(
+                    [r.cpu_energy_j for r in rows]
+                ).reshape(shape),
+                time_s=np.array([r.time_s for r in rows]).reshape(shape),
+            )
+        )
+    return grids
 
 
 # ---------------------------------------------------------------------------

@@ -44,7 +44,14 @@ from pathlib import Path
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.campaign.faultinject import maybe_fault
-from repro.campaign.plan import CampaignJob, CampaignPlan
+from repro.campaign.plan import (
+    DEFAULT_FLEET_SHARD_SIZE,
+    FLEET_MODES,
+    CampaignJob,
+    CampaignPlan,
+    FleetShard,
+    fleet_jobs,
+)
 from repro.campaign.resilience import (
     ON_FAILURE_POLICIES,
     DrainFlag,
@@ -298,6 +305,169 @@ def execute_job_faulted(
     return execute_job(job, topology)
 
 
+# ---------------------------------------------------------------------------
+# Fleet execution: many jobs per kernel invocation
+# ---------------------------------------------------------------------------
+
+def _job_fleet_members(job: CampaignJob, app: Application, topology):
+    """The :class:`~repro.execution.fleet_replay.FleetMember` requests
+    equivalent to one campaign job (one per grid cell for ``grid``)."""
+    from repro.execution.fleet_replay import FleetMember
+    from repro.execution.simulator import OperatingPoint
+
+    threads = job.threads if job.threads is not None else app.default_threads
+    common = dict(
+        node_id=job.node_id,
+        seed=job.seed,
+        node_seed=job.node_seed,
+        topology=topology,
+    )
+    if job.mode == "grid":
+        return [
+            FleetMember(
+                app=app,
+                run_key=run_key,
+                point=OperatingPoint(job.core_freq_ghz, ucf, threads),
+                threads=threads,
+                **common,
+            )
+            for ucf, run_key in zip(job.uncore_freqs_ghz, job.cell_run_keys())
+        ]
+    if job.mode == "savings":
+        # Default-start node; the controller (if any) reprograms it.
+        return [
+            FleetMember(
+                app=app,
+                run_key=job.run_key(),
+                threads=threads,
+                controller=_build_controller(job),
+                instrumented=job.instrumented,
+                instrumentation=_build_instrumentation(job, app),
+                **common,
+            )
+        ]
+    return [
+        FleetMember(
+            app=app,
+            run_key=job.run_key(),
+            point=OperatingPoint(
+                job.core_freq_ghz, job.uncore_freq_ghz, threads
+            ),
+            threads=threads,
+            **common,
+        )
+    ]
+
+
+def _fleet_payload(job: CampaignJob, results) -> dict[str, Any]:
+    """Assemble one job's store payload from its fleet members' runs —
+    the exact layout :func:`execute_job` produces for the mode."""
+    if job.mode == "grid":
+        return {
+            "uncore_freqs_ghz": list(job.uncore_freqs_ghz),
+            "node_energy_j": [r.node_energy_j for r in results],
+            "cpu_energy_j": [r.cpu_energy_j for r in results],
+            "time_s": [r.time_s for r in results],
+        }
+    run = results[0]
+    payload = {
+        "node_energy_j": run.node_energy_j,
+        "cpu_energy_j": run.cpu_energy_j,
+        "time_s": run.time_s,
+    }
+    if job.mode == "savings":
+        payload["switching_time_s"] = run.switching_time_s
+        payload["instrumentation_time_s"] = run.instrumentation_time_s
+    return payload
+
+
+def execute_fleet_shard(
+    shard: FleetShard, topology: NodeTopology | None = None
+) -> dict[str, dict[str, Any]]:
+    """Price one shard's jobs in a single fleet-kernel pass.
+
+    Returns ``{store key: payload}`` with exactly the payloads (and
+    keys) the per-job :func:`execute_job` path would produce — fleet
+    execution is a strategy, not a schema.
+    """
+    from repro.execution.fleet_replay import fleet_run
+
+    apps: dict[str, Application] = {}
+    members: list = []
+    spans: list[tuple[int, int]] = []
+    for job in shard.jobs:
+        app = apps.get(job.app)
+        if app is None:
+            app = registry.build(job.app)
+            apps[job.app] = app
+        job_members = _job_fleet_members(job, app, topology)
+        spans.append((len(members), len(job_members)))
+        members.extend(job_members)
+    fleet = fleet_run(members)
+    return {
+        topology_job_key(job, topology): _fleet_payload(
+            job, fleet.results[start:start + count]
+        )
+        for job, (start, count) in zip(shard.jobs, spans)
+    }
+
+
+def execute_fleet_shard_faulted(
+    shard: FleetShard,
+    topology: NodeTopology | None,
+    index: int | None,
+    attempt: int = 0,
+) -> dict[str, dict[str, Any]]:
+    """:func:`execute_fleet_shard` with fault-injection checkpoints.
+
+    The shard as a whole answers to ``mode="fleet"`` directives
+    (``index`` is the shard's position); each member job additionally
+    answers to directives targeting its own (app, mode), so a fault
+    aimed at e.g. ``mode="grid", app="CG"`` fires regardless of the
+    execution strategy — fleet is a strategy, not a schema, for the
+    fault harness too.
+    """
+    maybe_fault(
+        "execute", app=shard.jobs[0].app, mode="fleet", index=index,
+        attempt=attempt,
+    )
+    for job in shard.jobs:
+        maybe_fault(
+            "execute", app=job.app, mode=job.mode, index=index,
+            attempt=attempt,
+        )
+    return execute_fleet_shard(shard, topology)
+
+
+def execute_fleet_shard_stored(
+    shard: FleetShard,
+    topology: NodeTopology | None,
+    store_path: str,
+    store_backend: str,
+    descriptors: dict[str, dict[str, Any]],
+    index: int | None = None,
+    attempt: int = 0,
+) -> dict[str, dict[str, Any]]:
+    """Run one shard in a pool worker, persisting member rows directly.
+
+    Each member job's row is put and flushed individually (with a
+    per-row ``store``-stage fault checkpoint keyed by the job's app),
+    so a worker killed mid-shard loses only the rows it had not yet
+    written — the retry re-prices the shard bit-identically and the
+    store no-ops the re-puts of surviving rows.
+    """
+    payloads = execute_fleet_shard_faulted(shard, topology, index, attempt)
+    store = _worker_store(store_path, store_backend)
+    for job in shard.jobs:
+        key = topology_job_key(job, topology)
+        maybe_fault(
+            "store", app=job.app, mode="fleet", index=index, attempt=attempt
+        )
+        store.put(key, descriptors[key], payloads[key])
+        store.flush()
+    return payloads
+
+
 #: Per-process store instances for direct-writing pool workers, keyed
 #: by (pid, path) — the pid guard matters under fork, where a parent's
 #: populated cache is inherited verbatim and must not be reused.
@@ -469,8 +639,20 @@ class CampaignEngine:
         on_failure: str = "raise",
         retry_failed: bool = False,
         resume_manifest: str | Path | None = None,
+        fleet: bool = False,
+        fleet_shard_size: int = DEFAULT_FLEET_SHARD_SIZE,
     ) -> CampaignResults:
         """Execute (or recall) every job of ``plan``.
+
+        With ``fleet=True``, uncached fleet-able jobs (see
+        :data:`~repro.campaign.plan.FLEET_MODES`) are grouped into
+        :class:`~repro.campaign.plan.FleetShard`\\ s of up to
+        ``fleet_shard_size`` jobs and priced through the batched fleet
+        kernel — one kernel invocation per shard, shards pool-parallel.
+        Payloads, store keys and caching are identical to per-job
+        execution (fleet is a strategy, not a schema); non-fleet-able
+        jobs in the plan run through the per-job path of the same
+        resilient pass.
 
         ``on_failure`` decides what a definitive job failure does:
         ``"raise"`` (the default) aborts with a
@@ -531,9 +713,15 @@ class CampaignEngine:
         workers = self._worker_count(len(pending))
         drain = DrainFlag()
         with graceful_drain(drain):
-            outcome = self._execute_pending(
-                pending, workers, payloads, on_failure, drain
-            )
+            if fleet:
+                outcome = self._execute_pending_fleet(
+                    pending, workers, payloads, on_failure, drain,
+                    fleet_shard_size,
+                )
+            else:
+                outcome = self._execute_pending(
+                    pending, workers, payloads, on_failure, drain
+                )
 
         jobs_by_key = dict(pending)
         failed: dict[str, FailureRecord] = {}
@@ -753,6 +941,137 @@ class CampaignEngine:
             if direct:
                 self.store.refresh()
 
+    def _execute_pending_fleet(
+        self,
+        pending: list[tuple[str, CampaignJob]],
+        workers: int,
+        payloads: dict[str, dict[str, Any]],
+        on_failure: str,
+        drain: DrainFlag,
+        shard_size: int,
+    ) -> PoolOutcome:
+        """Run the uncached jobs with fleet-able modes batched.
+
+        Fleet-able jobs group into shards (one fleet-kernel pass each);
+        any remaining jobs (``counters``) ride the per-job path in the
+        same resilient pass.  Tasks are identified by shard position
+        (``int``) or job store key (``str``); the returned outcome is
+        translated back to job-key space, so the caller's failure and
+        quarantine plumbing is strategy-agnostic.  A failed shard marks
+        every member job failed — except those whose rows a
+        direct-writing worker persisted before dying, which later runs
+        recall from the store.
+        """
+        if not pending:
+            return PoolOutcome()
+        fleetable = [(k, j) for k, j in pending if j.mode in FLEET_MODES]
+        rest = [(k, j) for k, j in pending if j.mode not in FLEET_MODES]
+        shards = fleet_jobs([job for _, job in fleetable], shard_size=shard_size)
+        shard_keys: list[tuple[str, ...]] = []
+        pos = 0
+        for shard in shards:
+            count = len(shard.jobs)
+            shard_keys.append(tuple(key for key, _ in fleetable[pos:pos + count]))
+            pos += count
+        jobs_by_key = dict(pending)
+
+        serial = workers <= 1
+        direct = self._direct_write() and not serial
+        tasks: list = []
+        if direct:
+            path, backend = str(self.store.path), self.store.backend
+            for i, shard in enumerate(shards):
+                descriptors = {
+                    key: self._descriptor(job)
+                    for key, job in zip(shard_keys[i], shard.jobs)
+                }
+                tasks.append(
+                    (
+                        i,
+                        execute_fleet_shard_stored,
+                        (shard, self.topology, path, backend, descriptors, i),
+                    )
+                )
+            for index, (key, job) in enumerate(rest, start=len(shards)):
+                tasks.append(
+                    (
+                        key,
+                        execute_job_stored,
+                        (
+                            job,
+                            self.topology,
+                            path,
+                            backend,
+                            key,
+                            self._descriptor(job),
+                            index,
+                        ),
+                    )
+                )
+            self.store.release()
+        else:
+            for i, shard in enumerate(shards):
+                tasks.append(
+                    (i, execute_fleet_shard_faulted, (shard, self.topology, i))
+                )
+            for index, (key, job) in enumerate(rest, start=len(shards)):
+                tasks.append(
+                    (key, execute_job_faulted, (job, self.topology, index))
+                )
+
+        def on_success(task_id, payload) -> None:
+            if isinstance(task_id, int):
+                payloads.update(payload)
+                if not direct:
+                    for key in shard_keys[task_id]:
+                        self._persist(key, jobs_by_key[key], payload[key])
+            else:
+                payloads[task_id] = payload
+                if not direct:
+                    self._persist(task_id, jobs_by_key[task_id], payload)
+
+        try:
+            if serial:
+                outcome = run_resilient_serial(
+                    tasks,
+                    policy=self.retry_policy,
+                    on_success=on_success,
+                    stop_on_failure=on_failure == "raise",
+                    drain=drain,
+                )
+            else:
+                outcome = run_resilient_pool(
+                    tasks,
+                    workers=min(workers, len(tasks)),
+                    pool_factory=self._pool,
+                    policy=self.retry_policy,
+                    on_success=on_success,
+                    stop_on_failure=on_failure == "raise",
+                    drain=drain,
+                )
+        finally:
+            if direct:
+                self.store.refresh()
+
+        translated = PoolOutcome(
+            retried=outcome.retried, drained=outcome.drained
+        )
+        for task_id, payload in outcome.results.items():
+            if isinstance(task_id, int):
+                translated.results.update(payload)
+            else:
+                translated.results[task_id] = payload
+        for task_id, failure in outcome.failures.items():
+            for key in shard_keys[task_id] if isinstance(task_id, int) else (task_id,):
+                if key not in payloads:
+                    translated.failures[key] = failure
+        for task_id in outcome.not_run:
+            if isinstance(task_id, int):
+                translated.not_run.extend(shard_keys[task_id])
+            else:
+                translated.not_run.append(task_id)
+        return translated
+
     # ------------------------------------------------------------------
     def map_tasks(self, fn: Callable[[Any], Any], items: Sequence[Any]) -> list:
         """Order-preserving parallel map over arbitrary picklable tasks.
@@ -814,6 +1133,7 @@ def run_app_jobs(
     engine: CampaignEngine | None = None,
     on_failure: str = "raise",
     retry_failed: bool = False,
+    fleet: bool = False,
 ) -> CampaignResults:
     """Run one application's job batch with live-object fidelity.
 
@@ -826,6 +1146,9 @@ def run_app_jobs(
     topology.  ``on_failure`` and ``retry_failed`` carry
     :meth:`CampaignEngine.run`'s failure semantics through (the
     custom-instance path has no store, so they only shape engine runs).
+    ``fleet`` selects the batched fleet-kernel execution strategy for
+    engine runs (payloads are bit-identical either way; the
+    custom-instance path stays per-job).
     """
     if _registry_faithful(app):
         if engine is None:
@@ -834,6 +1157,7 @@ def run_app_jobs(
             CampaignPlan(tuple(jobs)),
             on_failure=on_failure,
             retry_failed=retry_failed,
+            fleet=fleet,
         )
     payloads = {
         topology_job_key(job, cluster.topology): execute_job(

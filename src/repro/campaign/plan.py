@@ -78,6 +78,17 @@ def grid_run_key(
 #: Runs averaged for one counter measurement (PMU multiplexing).
 COUNTER_MEASUREMENT_RUNS = 3
 
+#: Modes the fleet kernel (:mod:`repro.execution.fleet_replay`) can
+#: batch: every mode whose job is one priced replay (or, for ``grid``,
+#: a row of them).  ``counters`` jobs sample PMU streams through a
+#: dedicated fast path and stay on the per-job engines.
+FLEET_MODES: tuple[str, ...] = ("sweep", "static", "savings", "grid")
+
+#: Jobs batched into one fleet kernel invocation by default.  Large
+#: enough to amortise the padded-matrix setup, small enough that a
+#: pool still load-balances shards across workers.
+DEFAULT_FLEET_SHARD_SIZE = 16
+
 
 @dataclass(frozen=True)
 class CampaignJob:
@@ -203,6 +214,55 @@ class CampaignJob:
                 }
             )
         return descriptor
+
+
+@dataclass(frozen=True)
+class FleetShard:
+    """One fleet-kernel invocation's worth of campaign jobs.
+
+    A shard is the parallelisable unit of fleet execution: its jobs are
+    converted to :class:`~repro.execution.fleet_replay.FleetMember`
+    requests and priced in one batched pass.  Results remain addressed
+    per job — the shard grouping never appears in store keys, so fleet
+    and per-job runs share one cache.
+    """
+
+    jobs: tuple[CampaignJob, ...]
+
+    def __post_init__(self):
+        if not self.jobs:
+            raise CampaignError("a fleet shard needs at least one job")
+        for job in self.jobs:
+            if job.mode not in FLEET_MODES:
+                raise CampaignError(
+                    f"{job.mode!r} jobs cannot join a fleet shard; "
+                    f"fleet modes: {FLEET_MODES}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self) -> Iterator[CampaignJob]:
+        return iter(self.jobs)
+
+
+def fleet_jobs(
+    jobs, *, shard_size: int = DEFAULT_FLEET_SHARD_SIZE
+) -> tuple[FleetShard, ...]:
+    """Group fleet-able jobs into shards, preserving job order.
+
+    The flattened shards visit ``jobs`` exactly in input order, so
+    callers can align shard members with their own bookkeeping by
+    position.  Raises :class:`CampaignError` when a job's mode is not
+    fleet-able (see :data:`FLEET_MODES`).
+    """
+    if shard_size < 1:
+        raise CampaignError("fleet shard_size must be >= 1")
+    jobs = tuple(jobs)
+    return tuple(
+        FleetShard(jobs[i:i + shard_size])
+        for i in range(0, len(jobs), shard_size)
+    )
 
 
 @dataclass(frozen=True)

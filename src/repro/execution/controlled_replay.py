@@ -536,6 +536,189 @@ def _walk_iteration(
     )
 
 
+@dataclass
+class FlatControlSchedule:
+    """One run's compiled charges, flattened to run-long sequences.
+
+    The pricing view of a :class:`ControlSchedule` under one noise
+    matrix: every span's charge plan tiled over its iterations and
+    concatenated in execution order.  Shared by the per-run controlled
+    replay and the fleet kernel (:mod:`repro.execution.fleet_replay`),
+    which prices many members' flat sequences side by side.
+    """
+
+    durations: np.ndarray         #: (L,) every charge duration, in order
+    node_w: np.ndarray            #: (L,) power components per charge
+    package_w: np.ndarray
+    dram_w: np.ndarray
+    switches: np.ndarray          #: SWITCH-charge durations, in order
+    probes: np.ndarray            #: PROBE-charge durations, in order
+    span_offsets: tuple[int, ...]
+    span_durations: tuple         #: per span: (W, count) noisy bodies | None
+
+
+def flatten_control_schedule(
+    schedule: ControlSchedule, noise: np.ndarray
+) -> FlatControlSchedule:
+    """Flatten every segment's charges into one run-long sequence.
+
+    ``noise`` is the run's global (work region x iteration) lognormal
+    matrix; spans slice it by iteration range, so the flattened body
+    durations consume exactly the keyed streams the recursive engine
+    would draw one at a time.
+    """
+    flat_parts: list[np.ndarray] = []
+    power_parts: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    switch_parts: list[np.ndarray] = []
+    probe_parts: list[np.ndarray] = []
+    span_offsets: list[int] = []
+    span_durations: list[np.ndarray | None] = []
+    offset = 0
+    for index, start, count in schedule.spans:
+        pattern = schedule.patterns[index]
+        num_charges = len(pattern.charges)
+        matrix = np.tile(pattern.fixed_durations, (count, 1))
+        durations_work = None
+        if schedule.num_work:
+            durations_work = pattern.base_times[:, None] * noise[:, start:start + count]
+            body = pattern.body_rows >= 0
+            matrix[:, body] = durations_work[pattern.body_rows[body]].T
+        flat_parts.append(matrix.reshape(-1))
+        power_parts.append(
+            (
+                np.tile(pattern.node_w, count),
+                np.tile(pattern.package_w, count),
+                np.tile(pattern.dram_w, count),
+            )
+        )
+        switch_parts.append(np.tile(pattern.switch_latencies, count))
+        probe_parts.append(np.tile(pattern.probe_overheads, count))
+        span_offsets.append(offset)
+        span_durations.append(durations_work)
+        offset += count * num_charges
+    return FlatControlSchedule(
+        durations=np.concatenate(flat_parts),
+        node_w=np.concatenate([p[0] for p in power_parts]),
+        package_w=np.concatenate([p[1] for p in power_parts]),
+        dram_w=np.concatenate([p[2] for p in power_parts]),
+        switches=np.concatenate(switch_parts),
+        probes=np.concatenate(probe_parts),
+        span_offsets=tuple(span_offsets),
+        span_durations=tuple(span_durations),
+    )
+
+
+def control_noise_seeds(schedule: ControlSchedule, node_id, run_key, seed):
+    """The (work region x iteration) seed matrix of one controlled run."""
+    seeds = np.empty((schedule.num_work, schedule.iterations), dtype=np.uint64)
+    for slot in schedule.patterns[0].slots:
+        if slot.has_work:
+            prefix = StreamPrefix(
+                "time", node_id, run_key, slot.region.name, seed=seed
+            )
+            seeds[slot.work_index] = prefix.seeds_for_iterations(
+                schedule.iterations
+            )
+    return seeds
+
+
+def materialise_control_instances(
+    schedule: ControlSchedule,
+    timeline: np.ndarray,
+    flat: FlatControlSchedule,
+) -> list:
+    """Derive every :class:`RegionInstance` row of one controlled run.
+
+    ``timeline`` is the simulated clock after each flattened charge
+    (with a leading entry time); only positions within the run's real
+    charge count are read, so a row sliced out of a padded fleet matrix
+    works exactly like the per-run vector.
+    """
+    from repro.execution.simulator import RegionInstance
+
+    rows: list = []
+    append = rows.append
+    for (index, start, count), span_offset, durations_work in zip(
+        schedule.spans, flat.span_offsets, flat.span_durations
+    ):
+        pattern = schedule.patterns[index]
+        slots = pattern.slots
+        num_slots = len(slots)
+        num_charges = len(pattern.charges)
+        offsets = span_offset + np.arange(count) * num_charges
+        enter_index = np.array([s.charge_start for s in slots])
+        exit_index = np.array([s.charge_end for s in slots])
+        enter = timeline[offsets[:, None] + enter_index[None, :]]
+        total_time = timeline[offsets[:, None] + exit_index[None, :]] - enter
+
+        zeros = np.zeros(count)
+        body_time: list = [None] * num_slots
+        body_energy: list = [None] * num_slots
+        for k, slot in enumerate(slots):
+            time = energy = None
+            if slot.has_work:
+                time = durations_work[slot.work_index]
+                energy = slot.node_w * time
+            if slot.probed:
+                probe_joules = slot.probe_node_w * slot.probe_s
+                time = (
+                    time + slot.probe_s
+                    if time is not None
+                    else np.full(count, slot.probe_s)
+                )
+                energy = (
+                    energy + probe_joules
+                    if energy is not None
+                    else np.full(count, probe_joules)
+                )
+            body_time[k] = time if time is not None else zeros
+            body_energy[k] = energy if energy is not None else zeros
+
+        # Inclusive energies: children accumulate in child order, own
+        # body first — the recursive engine's exact expression tree.
+        # Switch charges never enter instance energies (the recursion
+        # accounts them to the run only).
+        inclusive: list = [None] * num_slots
+        for k in range(num_slots - 1, -1, -1):
+            children_energy = None
+            for child in slots[k].children:
+                children_energy = (
+                    inclusive[child]
+                    if children_energy is None
+                    else children_energy + inclusive[child]
+                )
+            if children_energy is None:
+                children_energy = 0.0
+            inclusive[k] = body_energy[k] + children_energy
+
+        cpu_energy: list = [None] * num_slots
+        for k, slot in enumerate(slots):
+            if slot.has_work:
+                cpu_energy[k] = np.where(
+                    body_time[k] > 0, body_energy[k] * slot.cpu_fraction, 0.0
+                )
+            else:
+                cpu_energy[k] = zeros
+
+        for i in range(count):
+            iteration = start + i
+            for k in schedule.post_order:
+                slot = slots[k]
+                append(
+                    RegionInstance(
+                        region_name=slot.region.name,
+                        iteration=iteration,
+                        start_s=float(enter[i, k]),
+                        time_s=float(total_time[i, k]),
+                        node_energy_j=float(inclusive[k][i]),
+                        cpu_energy_j=float(cpu_energy[k][i]),
+                        operating_point=slot.point,
+                        timing=slot.timing,
+                    )
+                )
+    return rows
+
+
 def replay_controlled_run(
     sim,
     app: Application,
@@ -557,7 +740,6 @@ def replay_controlled_run(
         TIME_NOISE_SIGMA,
         InstanceLog,
         OperatingPoint,
-        RegionInstance,
         RunResult,
     )
 
@@ -591,163 +773,33 @@ def replay_controlled_run(
     # The streams are keyed by region name and iteration only — never by
     # operating point — so one global matrix serves every segment.
     if schedule.num_work:
-        seeds = np.empty((schedule.num_work, iterations), dtype=np.uint64)
-        for slot in schedule.patterns[0].slots:
-            if slot.has_work:
-                prefix = StreamPrefix(
-                    "time", node.node_id, run_key, slot.region.name, seed=sim.seed
-                )
-                seeds[slot.work_index] = prefix.seeds_for_iterations(iterations)
+        seeds = control_noise_seeds(schedule, node.node_id, run_key, sim.seed)
         noise = batched_lognormal(seeds.reshape(-1), TIME_NOISE_SIGMA).reshape(
             schedule.num_work, iterations
         )
     else:
         noise = np.empty((0, iterations))
 
-    # -- flatten every segment's charges into one run-long sequence --------
-    flat_parts: list[np.ndarray] = []
-    power_parts: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
-    switch_parts: list[np.ndarray] = []
-    probe_parts: list[np.ndarray] = []
-    span_offsets: list[int] = []
-    span_durations: list[np.ndarray | None] = []
-    offset = 0
-    for index, start, count in schedule.spans:
-        pattern = schedule.patterns[index]
-        num_charges = len(pattern.charges)
-        matrix = np.tile(pattern.fixed_durations, (count, 1))
-        durations_work = None
-        if schedule.num_work:
-            durations_work = pattern.base_times[:, None] * noise[:, start:start + count]
-            body = pattern.body_rows >= 0
-            matrix[:, body] = durations_work[pattern.body_rows[body]].T
-        flat_parts.append(matrix.reshape(-1))
-        power_parts.append(
-            (
-                np.tile(pattern.node_w, count),
-                np.tile(pattern.package_w, count),
-                np.tile(pattern.dram_w, count),
-            )
-        )
-        switch_parts.append(np.tile(pattern.switch_latencies, count))
-        probe_parts.append(np.tile(pattern.probe_overheads, count))
-        span_offsets.append(offset)
-        span_durations.append(durations_work)
-        offset += count * num_charges
-
-    flat_durations = np.concatenate(flat_parts)
-    flat_node_w = np.concatenate([p[0] for p in power_parts])
+    flat = flatten_control_schedule(schedule, noise)
 
     # Simulated clock after each charge; cumsum is a strict left fold, so
     # every value matches the recursive engine's repeated ``+=``.
-    timeline = np.cumsum(np.concatenate(([start_time], flat_durations)))
+    timeline = np.cumsum(np.concatenate(([start_time], flat.durations)))
 
-    node.advance_many(
-        flat_durations,
-        flat_node_w,
-        np.concatenate([p[1] for p in power_parts]),
-        np.concatenate([p[2] for p in power_parts]),
-    )
+    node.advance_many(flat.durations, flat.node_w, flat.package_w, flat.dram_w)
 
-    if flat_durations.size:
-        flat_joules = flat_node_w * flat_durations
+    if flat.durations.size:
+        flat_joules = flat.node_w * flat.durations
         result.node_energy_j = float(np.add.accumulate(flat_joules)[-1])
-    switch_flat = np.concatenate(switch_parts)
-    if switch_flat.size:
-        result.switching_time_s = float(np.add.accumulate(switch_flat)[-1])
-    probe_flat = np.concatenate(probe_parts)
-    if probe_flat.size:
-        result.instrumentation_time_s = float(np.add.accumulate(probe_flat)[-1])
+    if flat.switches.size:
+        result.switching_time_s = float(np.add.accumulate(flat.switches)[-1])
+    if flat.probes.size:
+        result.instrumentation_time_s = float(np.add.accumulate(flat.probes)[-1])
 
     result.time_s = node.now_s - start_time
     result.cpu_energy_j = node.rapl.read_cpu_energy_joules() - start_cpu_j
 
-    # -- lazy row materialisation ------------------------------------------
-    spans = list(schedule.spans)
-    post_order = schedule.post_order
-
-    def materialise() -> list:
-        rows: list = []
-        append = rows.append
-        for (index, start, count), span_offset, durations_work in zip(
-            spans, span_offsets, span_durations
-        ):
-            pattern = schedule.patterns[index]
-            slots = pattern.slots
-            num_slots = len(slots)
-            num_charges = len(pattern.charges)
-            offsets = span_offset + np.arange(count) * num_charges
-            enter_index = np.array([s.charge_start for s in slots])
-            exit_index = np.array([s.charge_end for s in slots])
-            enter = timeline[offsets[:, None] + enter_index[None, :]]
-            total_time = timeline[offsets[:, None] + exit_index[None, :]] - enter
-
-            zeros = np.zeros(count)
-            body_time: list = [None] * num_slots
-            body_energy: list = [None] * num_slots
-            for k, slot in enumerate(slots):
-                time = energy = None
-                if slot.has_work:
-                    time = durations_work[slot.work_index]
-                    energy = slot.node_w * time
-                if slot.probed:
-                    probe_joules = slot.probe_node_w * slot.probe_s
-                    time = (
-                        time + slot.probe_s
-                        if time is not None
-                        else np.full(count, slot.probe_s)
-                    )
-                    energy = (
-                        energy + probe_joules
-                        if energy is not None
-                        else np.full(count, probe_joules)
-                    )
-                body_time[k] = time if time is not None else zeros
-                body_energy[k] = energy if energy is not None else zeros
-
-            # Inclusive energies: children accumulate in child order, own
-            # body first — the recursive engine's exact expression tree.
-            # Switch charges never enter instance energies (the recursion
-            # accounts them to the run only).
-            inclusive: list = [None] * num_slots
-            for k in range(num_slots - 1, -1, -1):
-                children_energy = None
-                for child in slots[k].children:
-                    children_energy = (
-                        inclusive[child]
-                        if children_energy is None
-                        else children_energy + inclusive[child]
-                    )
-                if children_energy is None:
-                    children_energy = 0.0
-                inclusive[k] = body_energy[k] + children_energy
-
-            cpu_energy: list = [None] * num_slots
-            for k, slot in enumerate(slots):
-                if slot.has_work:
-                    cpu_energy[k] = np.where(
-                        body_time[k] > 0, body_energy[k] * slot.cpu_fraction, 0.0
-                    )
-                else:
-                    cpu_energy[k] = zeros
-
-            for i in range(count):
-                iteration = start + i
-                for k in post_order:
-                    slot = slots[k]
-                    append(
-                        RegionInstance(
-                            region_name=slot.region.name,
-                            iteration=iteration,
-                            start_s=float(enter[i, k]),
-                            time_s=float(total_time[i, k]),
-                            node_energy_j=float(inclusive[k][i]),
-                            cpu_energy_j=float(cpu_energy[k][i]),
-                            operating_point=slot.point,
-                            timing=slot.timing,
-                        )
-                    )
-        return rows
-
-    result.instances = InstanceLog.deferred(materialise)
+    result.instances = InstanceLog.deferred(
+        lambda: materialise_control_instances(schedule, timeline, flat)
+    )
     return result

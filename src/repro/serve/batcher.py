@@ -1,13 +1,19 @@
-"""The coalescing queue: many pending requests, one sweep each.
+"""The coalescing queue: many pending requests, few kernel passes.
 
 Two requests that share a **grid key** — ``(benchmark, threads,
 stride, node_id, seed)``, see :meth:`repro.api.TuningRequest.grid_key`
 — are answered from the same CF x UCF measurement: objectives and TMMs
-are evaluated *from* the grid, not measured into it.  The batcher
-exploits that: pending requests are grouped by grid key, and a group
-flushes as one invocation of the sweep kernel when it reaches
-``max_batch`` members or its ``max_wait_s`` admission window closes.
-N queued objectives on the same app cost one sweep instead of N.
+are evaluated *from* the grid, not measured into it.  The fleet replay
+kernel (:mod:`repro.execution.fleet_replay`) goes further: requests
+with *different* grid keys — different benchmarks, thread counts,
+nodes, seeds — can still share one batched kernel invocation, because
+every cell of every grid is just one fleet member.  The batcher
+therefore coalesces under a configurable key: ``coalesce="fleet"``
+(what the service uses) groups *all* pending requests together so N
+queued requests across M applications cost one fleet pass, while
+``coalesce="grid"`` preserves the historical per-grid-key grouping.  A
+group flushes when it reaches ``max_batch`` members or its
+``max_wait_s`` admission window closes.
 
 This is sound because every cell's noise stream is keyed by (seed,
 node, run key, region, iteration) — never by process, wall clock or
@@ -19,7 +25,8 @@ The batcher itself is a synchronous, clock-injected data structure —
 no asyncio, no threads — so its invariants are directly testable; the
 service (:mod:`repro.serve.service`) supplies the event loop, timers
 and futures around it.  :func:`answer_group` is the pure execution
-step: one grid measurement, then one answer per member request.
+step: one batched measurement of the group's distinct grids, then one
+answer per member request.
 """
 
 from __future__ import annotations
@@ -31,7 +38,24 @@ from typing import Callable
 from repro import api
 from repro.errors import CampaignError
 
-__all__ = ["CoalescingBatcher", "PendingGroup", "answer_group"]
+__all__ = [
+    "COALESCE_MODES",
+    "CoalescingBatcher",
+    "FLEET_KEY",
+    "PendingGroup",
+    "answer_group",
+]
+
+#: Coalescing keys the batcher understands: per grid key, or one fleet.
+COALESCE_MODES: tuple[str, ...] = ("grid", "fleet")
+
+#: The fleet-compatible signature: every :class:`~repro.api.TuningRequest`
+#: field is a per-member axis of the fleet kernel (benchmark, threads,
+#: node, seed and stride all vary member-to-member), so one constant key
+#: groups everything.  Kept as a named signature so a future request
+#: field that selects *execution context* rather than measurement
+#: identity has a place to split groups.
+FLEET_KEY: tuple = ("fleet",)
 
 #: Default admission window and batch cap.  The window only delays the
 #: *first* request of a group; followers join for free.  20 ms is long
@@ -43,7 +67,7 @@ DEFAULT_MAX_BATCH = 16
 
 @dataclass
 class PendingGroup:
-    """One grid key's pending requests, ordered by admission."""
+    """One coalescing key's pending requests, ordered by admission."""
 
     key: tuple
     requests: list[api.TuningRequest] = field(default_factory=list)
@@ -53,18 +77,19 @@ class PendingGroup:
 
 
 class CoalescingBatcher:
-    """Group pending tuning requests by grid key, deterministically.
+    """Group pending tuning requests by coalescing key, deterministically.
 
-    ``admit`` files a request under its grid key and returns
-    ``(ticket, started, fire)`` — ``started`` is True when the
-    admission opened a new group (the caller should arm its flush
-    timer) and ``fire`` is True when it filled the group to
-    ``max_batch`` (flush now, don't wait for the window).
-    ``due(now)``/``pop`` drain groups whose window elapsed.  The order
-    of requests inside a group is admission order, and tickets are a
-    global admission sequence: given the same admissions, flushes are
-    fully deterministic (results never depend on order anyway — every
-    member's answer is bit-identical to its solo answer).
+    ``admit`` files a request under its coalescing key (see
+    :meth:`key_for`) and returns ``(ticket, started, fire)`` —
+    ``started`` is True when the admission opened a new group (the
+    caller should arm its flush timer) and ``fire`` is True when it
+    filled the group to ``max_batch`` (flush now, don't wait for the
+    window).  ``due(now)``/``pop`` drain groups whose window elapsed.
+    The order of requests inside a group is admission order, and
+    tickets are a global admission sequence: given the same admissions,
+    flushes are fully deterministic (results never depend on order
+    anyway — every member's answer is bit-identical to its solo
+    answer).
     """
 
     def __init__(
@@ -73,13 +98,20 @@ class CoalescingBatcher:
         max_batch: int = DEFAULT_MAX_BATCH,
         max_wait_s: float = DEFAULT_MAX_WAIT_S,
         clock: Callable[[], float] = time.monotonic,
+        coalesce: str = "grid",
     ):
         if max_batch < 1:
             raise CampaignError("max_batch must be >= 1")
         if max_wait_s < 0:
             raise CampaignError("max_wait_s must be >= 0")
+        if coalesce not in COALESCE_MODES:
+            raise CampaignError(
+                f"unknown coalesce mode: {coalesce!r}; "
+                f"known: {COALESCE_MODES}"
+            )
         self.max_batch = max_batch
         self.max_wait_s = max_wait_s
+        self.coalesce = coalesce
         self._clock = clock
         self._groups: dict[tuple, PendingGroup] = {}
         self._next_ticket = 0
@@ -89,9 +121,15 @@ class CoalescingBatcher:
         self.groups_fired = 0
 
     # ------------------------------------------------------------------
+    def key_for(self, request: api.TuningRequest) -> tuple:
+        """The coalescing key one request files under."""
+        if self.coalesce == "fleet":
+            return FLEET_KEY
+        return request.grid_key()
+
     def admit(self, request: api.TuningRequest) -> tuple[int, bool, bool]:
         """File one resolved request; returns (ticket, started, fire)."""
-        key = request.grid_key()
+        key = self.key_for(request)
         group = self._groups.get(key)
         started = group is None
         if started:
@@ -140,37 +178,38 @@ def answer_group(
     requests: list[api.TuningRequest],
     options: api.ExecutionOptions | None = None,
 ) -> list[api.TuningAnswer]:
-    """Answer one coalesced group from a single grid measurement.
+    """Answer one coalesced group from one batched measurement.
 
-    All requests must share a grid key.  The grid is measured once
-    (through whatever engine/campaign ``options`` selects) and each
-    request's objective argmin — plus its TMM-priced dynamic run, when
-    it carries one — is evaluated from it.  Per request, the result is
-    bit-identical to :func:`repro.api.tune`, which performs exactly
-    this fold for a group of one.
+    The group's *distinct* grid keys are deduplicated and their grids
+    measured in a single :func:`repro.api.sweep_grids` invocation (one
+    fleet-kernel pass spanning every benchmark/thread/node/seed in the
+    group — or, under ``options.engine="loop"``, the per-cell
+    reference); each request's objective argmin — plus its TMM-priced
+    dynamic run, when it carries one — is then evaluated from its grid.
+    Per request, the result is bit-identical to :func:`repro.api.tune`,
+    which performs exactly this fold for a group of one.  Groups from a
+    grid-keyed batcher (all requests sharing one grid key) are simply
+    the single-grid special case.
     """
     if not requests:
         return []
-    keys = {r.grid_key() for r in requests}
-    if len(keys) != 1:
-        raise CampaignError(
-            f"answer_group got requests from {len(keys)} grid keys; "
-            "groups must share one"
-        )
+    resolved = [request.resolved() for request in requests]
+    grid_of: dict[tuple, api.GridMeasurement] = {}
+    unique = []
+    for request in resolved:
+        key = request.grid_key()
+        if key not in grid_of:
+            grid_of[key] = None  # type: ignore[assignment]
+            unique.append(request)
     options = options if options is not None else api.ExecutionOptions()
-    first = requests[0].resolved()
-    grid = api.sweep_grid(
-        first.benchmark,
-        threads=first.threads,
-        stride=first.stride,
-        node_id=first.node_id,
-        seed=first.seed,
-        options=options,
+    grids = api.sweep_grids(
+        [request.grid_spec() for request in unique], options=options
     )
+    for request, grid in zip(unique, grids):
+        grid_of[request.grid_key()] = grid
     answers = []
-    for request in requests:
-        request = request.resolved()
-        answer = grid.answer(request)
+    for request in resolved:
+        answer = grid_of[request.grid_key()].answer(request)
         if request.tmm is not None:
             answer = replace(
                 answer, dynamic=api._dynamic_outcome(request, options)

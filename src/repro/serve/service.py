@@ -119,6 +119,7 @@ class TuningService:
         max_batch: int = batching.DEFAULT_MAX_BATCH,
         max_wait_s: float = batching.DEFAULT_MAX_WAIT_S,
         admission: str = "batched",
+        coalesce: str = "fleet",
         retry_failed: bool = False,
         retry_policy=None,
     ):
@@ -132,8 +133,12 @@ class TuningService:
         self.admission = admission
         self.retry_failed = retry_failed
         self.metrics = ServiceMetrics()
+        # "fleet" (the default) coalesces across grid keys: requests
+        # for different benchmarks/threads/nodes/seeds share one
+        # fleet-kernel invocation.  "grid" restores the historical
+        # per-grid-key grouping.  Answers are bit-identical either way.
         self.batcher = batching.CoalescingBatcher(
-            max_batch=max_batch, max_wait_s=max_wait_s
+            max_batch=max_batch, max_wait_s=max_wait_s, coalesce=coalesce
         )
         engine_kwargs: dict[str, Any] = {"max_workers": 0}
         if retry_policy is not None:
@@ -305,7 +310,7 @@ class TuningService:
         loop = asyncio.get_running_loop()
         entry = _Inflight(future=loop.create_future())
         self._inflight[request] = entry
-        key = request.grid_key()
+        key = self.batcher.key_for(request)
         _, started, fire = self.batcher.admit(request)
         if fire:
             self._fire(key)

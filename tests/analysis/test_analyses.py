@@ -49,6 +49,26 @@ class TestVariability:
         with pytest.raises(ValueError):
             variability_study("Lulesh", axis="dram")
 
+    def test_bad_engine_rejected(self):
+        with pytest.raises(ValueError):
+            variability_study("Lulesh", engine="sweep")
+
+    @pytest.mark.parametrize("axis", ["core", "uncore"])
+    def test_fleet_engine_bit_identical_to_loop(self, axis, cluster):
+        """The default fleet-kernel sweep equals the per-cell loop."""
+        kwargs = dict(axis=axis, nodes=(0, 2), cluster=cluster)
+        fleet = variability_study("Mcb", engine="fleet", **kwargs)
+        loop = variability_study("Mcb", engine="loop", **kwargs)
+        for node_id in (0, 2):
+            assert (
+                fleet.raw_energy_j[node_id].tolist()
+                == loop.raw_energy_j[node_id].tolist()
+            )
+            assert (
+                fleet.normalized_energy[node_id].tolist()
+                == loop.normalized_energy[node_id].tolist()
+            )
+
     def test_rendering(self, study):
         text = reporting.render_variability(study)
         assert "Lulesh" in text and "spread" in text
@@ -160,6 +180,54 @@ class TestSavings:
             campaign=CampaignEngine(max_workers=0),
         )
         assert via_campaign == rows["auto"]
+
+    def test_many_matches_solo_rows_and_shares_one_campaign_run(
+        self, cluster
+    ):
+        """compare_static_dynamic_many batches every benchmark's four
+        variants into one fleet campaign run, each row bit-identical
+        to its solo compare_static_dynamic call."""
+        from repro import api
+        from repro.analysis.savings import (
+            SavingsCase,
+            compare_static_dynamic_many,
+        )
+        from repro.campaign.engine import CampaignEngine
+
+        def case(benchmark):
+            app = registry.build(benchmark)
+            best = {"phase": OperatingPoint(2.5, 2.1, 24)}
+            for child in app.phase.children[:2]:
+                best[child.name] = OperatingPoint(2.4, 2.0, 24)
+            return SavingsCase(
+                benchmark=benchmark,
+                static_config=OperatingPoint(2.4, 2.0, 24),
+                tuning_model=TuningModel.from_best_configs(
+                    benchmark, "phase", best
+                ),
+            )
+
+        cases = [case("Lulesh"), case("EP")]
+        engine = CampaignEngine(max_workers=0)
+        options = api.ExecutionOptions(campaign=engine, cluster=cluster)
+        rows = compare_static_dynamic_many(
+            cases, runs=2, options=options
+        )
+        assert engine.total_executed > 0
+        solo = [
+            compare_static_dynamic(
+                c.benchmark, c.static_config, c.tuning_model,
+                cluster=cluster, runs=2,
+            )
+            for c in cases
+        ]
+        assert rows == solo
+        # without a campaign engine, the cases run one at a time and
+        # still produce identical rows
+        plain = compare_static_dynamic_many(
+            cases, runs=2, options=api.ExecutionOptions(cluster=cluster)
+        )
+        assert plain == solo
 
     def test_unknown_engine_rejected(self, cluster):
         from repro.errors import CampaignError

@@ -45,6 +45,13 @@ def grid_report(speedup: float, identical: bool = True) -> dict:
     }
 
 
+def regen_report(speedup: float, identical: bool = True) -> dict:
+    return {
+        "benchmark": "paper_regen",
+        "aggregate": {"speedup": speedup, "artifacts_identical": identical},
+    }
+
+
 class TestGate:
     def test_passes_when_equal(self, tmp_path):
         current = write(tmp_path / "a.json", sim_report(12.0))
@@ -103,6 +110,21 @@ class TestGate:
         baseline = write(tmp_path / "b.json", grid_report(10.5))
         assert gate.main([str(current), str(baseline)]) == 0
 
+    def test_fails_on_paper_regen_slowdown(self, tmp_path):
+        current = write(tmp_path / "a.json", regen_report(2.0))
+        baseline = write(tmp_path / "b.json", regen_report(4.5))
+        assert gate.main([str(current), str(baseline)]) == 1
+
+    def test_fails_when_regen_artifacts_diverge(self, tmp_path):
+        current = write(tmp_path / "a.json", regen_report(5.0, identical=False))
+        baseline = write(tmp_path / "b.json", regen_report(4.5))
+        assert gate.main([str(current), str(baseline)]) == 1
+
+    def test_passes_on_healthy_paper_regen_report(self, tmp_path):
+        current = write(tmp_path / "a.json", regen_report(4.0))
+        baseline = write(tmp_path / "b.json", regen_report(4.5))
+        assert gate.main([str(current), str(baseline)]) == 0
+
     def test_max_drop_flag(self, tmp_path):
         current = write(tmp_path / "a.json", sim_report(9.0))
         baseline = write(tmp_path / "b.json", sim_report(12.0))
@@ -140,6 +162,13 @@ class TestCommittedBaselines:
         assert report["model_evaluation"]["speedup"] >= 5
         assert report["model_evaluation"]["selections_identical"] is True
 
+    def test_paper_regen_baseline(self):
+        report = json.loads((self.BASELINES / "paper-regen.json").read_text())
+        assert report["benchmark"] == "paper_regen"
+        # The fleet kernel's acceptance claim, pinned at baseline time.
+        assert report["aggregate"]["speedup"] >= 3
+        assert report["aggregate"]["artifacts_identical"] is True
+
     def test_dynamic_replay_baseline(self):
         report = json.loads((self.BASELINES / "dynamic-replay.json").read_text())
         assert report["benchmark"] == "table6_savings"
@@ -161,6 +190,7 @@ class TestCommittedBaselines:
             "tuning-time.json",
             "dynamic-replay.json",
             "grid-sweep.json",
+            "paper-regen.json",
         ):
             path = self.BASELINES / name
             assert gate.main([str(path), str(path)]) == 0

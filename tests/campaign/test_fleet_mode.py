@@ -1,0 +1,252 @@
+"""The campaign fleet job mode: batched execution, per-job schema.
+
+Fleet execution (``CampaignEngine.run(plan, fleet=True)``) groups
+fleet-able jobs into :class:`~repro.campaign.plan.FleetShard`\\ s and
+prices each shard in one pass through the fleet replay kernel.  It is a
+*strategy*, not a schema: store keys, payload layouts and caching are
+those of per-job execution, so a store written by either strategy
+recalls bit-identically under the other.  The ``chaos``-marked test
+SIGKILLs a direct-writing worker mid-shard and checks that every member
+row persisted before the crash survives in the store.
+"""
+
+import pytest
+
+from repro.campaign import CampaignEngine, ResultStore, RetryPolicy
+from repro.campaign.engine import execute_job, topology_job_key
+from repro.campaign.faultinject import FAULT_ENV
+from repro.campaign.plan import (
+    CampaignPlan,
+    FLEET_MODES,
+    FleetShard,
+    counter_jobs,
+    fleet_jobs,
+    grid_jobs,
+    savings_jobs,
+    static_jobs,
+    sweep_jobs,
+)
+from repro.errors import CampaignError
+from repro.execution.simulator import OperatingPoint
+from repro.readex.tuning_model import TuningModel
+from repro.workloads import registry
+
+FAST_POLICY = RetryPolicy(max_retries=2, backoff_base_s=0.001, backoff_cap_s=0.01)
+
+
+def tmm_json(app_name: str) -> str:
+    app = registry.build(app_name)
+    regions = [r.name for r in app.phase.children][:3]
+    best = {"phase": OperatingPoint(2.5, 2.1, 24)}
+    for i, name in enumerate(regions):
+        best[name] = OperatingPoint(2.4 if i % 2 else 2.5, 2.0, 24)
+    return TuningModel.from_best_configs(app_name, "phase", best).to_json()
+
+
+def mixed_plan() -> CampaignPlan:
+    """Every fleet-able mode across several apps, plus a counters job."""
+    jobs: list = []
+    jobs += savings_jobs("Lulesh", label="default", runs=2, threads=24)
+    jobs += savings_jobs(
+        "Lulesh", label="rrl", runs=1, threads=24,
+        controller="rrl", tuning_model=tmm_json("Lulesh"),
+    )
+    jobs += savings_jobs(
+        "EP", label="static", runs=1, threads=24, controller="static",
+        core_freq_ghz=2.2, uncore_freq_ghz=1.8,
+    )
+    jobs += grid_jobs(
+        "FT", label="heatmap",
+        points=[OperatingPoint(2.0, u, 24) for u in (1.6, 2.0, 2.4)],
+    )
+    jobs += static_jobs("Mcb", points=[OperatingPoint(2.2, 1.8, 24)])
+    jobs += sweep_jobs("EP", threads=24)[:2]
+    jobs += counter_jobs(
+        "EP", threads=24, runs=1, counters=("PAPI_TOT_INS", "PAPI_L3_TCM")
+    )
+    return CampaignPlan(tuple(jobs))
+
+
+def run_plan(tmp_path, name, plan, *, backend="jsonl", workers=0, **kw):
+    with ResultStore(str(tmp_path / name), backend=backend) as store:
+        engine = CampaignEngine(
+            store=store, max_workers=workers, retry_policy=FAST_POLICY
+        )
+        results = engine.run(plan, **kw)
+        return results, {job: results[job] for job in plan}
+
+
+class TestFleetStrategy:
+    def test_serial_fleet_matches_per_job(self, tmp_path):
+        plan = mixed_plan()
+        _, ref = run_plan(tmp_path, "ref.jsonl", plan)
+        _, fleet = run_plan(
+            tmp_path, "fleet.jsonl", plan, fleet=True, fleet_shard_size=3
+        )
+        assert fleet == ref
+
+    def test_pool_direct_write_fleet_matches_per_job(self, tmp_path):
+        plan = mixed_plan()
+        _, ref = run_plan(tmp_path, "ref.jsonl", plan)
+        _, fleet = run_plan(
+            tmp_path, "fleet.sqlite", plan, backend="sqlite", workers=2,
+            fleet=True, fleet_shard_size=4,
+        )
+        assert fleet == ref
+
+    def test_one_giant_shard_and_singleton_shards(self, tmp_path):
+        plan = mixed_plan()
+        _, ref = run_plan(tmp_path, "ref.jsonl", plan)
+        _, giant = run_plan(
+            tmp_path, "giant.jsonl", plan, fleet=True, fleet_shard_size=999
+        )
+        _, single = run_plan(
+            tmp_path, "single.jsonl", plan, fleet=True, fleet_shard_size=1
+        )
+        assert giant == ref
+        assert single == ref
+
+    def test_store_written_by_fleet_recalls_under_per_job(self, tmp_path):
+        plan = mixed_plan()
+        path = str(tmp_path / "shared.jsonl")
+        with ResultStore(path) as store:
+            CampaignEngine(store=store, max_workers=0).run(plan, fleet=True)
+        with ResultStore(path) as store:
+            results = CampaignEngine(store=store, max_workers=0).run(plan)
+        assert results.report.cached == len(plan)
+        assert results.report.executed == 0
+
+    def test_store_written_per_job_recalls_under_fleet(self, tmp_path):
+        plan = mixed_plan()
+        path = str(tmp_path / "shared.jsonl")
+        with ResultStore(path) as store:
+            CampaignEngine(store=store, max_workers=0).run(plan)
+        with ResultStore(path) as store:
+            results = CampaignEngine(store=store, max_workers=0).run(
+                plan, fleet=True
+            )
+        assert results.report.cached == len(plan)
+        assert results.report.executed == 0
+
+    def test_counters_only_plan_under_fleet(self, tmp_path):
+        """Non-fleet-able jobs ride the per-job path of the same pass."""
+        plan = CampaignPlan(
+            counter_jobs(
+                "EP", threads=24, runs=2, counters=("PAPI_TOT_INS",)
+            )
+        )
+        _, ref = run_plan(tmp_path, "ref.jsonl", plan)
+        _, fleet = run_plan(tmp_path, "fleet.jsonl", plan, fleet=True)
+        assert fleet == ref
+
+
+class TestFleetSharding:
+    def test_shards_partition_in_order(self):
+        jobs = sweep_jobs("EP", threads=24)[:7]
+        shards = fleet_jobs(list(jobs), shard_size=3)
+        assert [len(s) for s in shards] == [3, 3, 1]
+        assert tuple(j for s in shards for j in s) == jobs
+
+    def test_bad_shard_size_rejected(self):
+        with pytest.raises(CampaignError, match="shard_size"):
+            fleet_jobs(list(sweep_jobs("EP", threads=24)[:2]), shard_size=0)
+
+    def test_non_fleetable_mode_rejected(self):
+        job = counter_jobs("EP", threads=24, runs=1, counters=("PAPI_TOT_INS",))[0]
+        assert job.mode not in FLEET_MODES
+        with pytest.raises(CampaignError, match="fleet"):
+            FleetShard(jobs=(job,))
+
+    def test_empty_shard_rejected(self):
+        with pytest.raises(CampaignError):
+            FleetShard(jobs=())
+
+
+def _store_rows(path, backend):
+    with ResultStore(path, backend=backend) as store:
+        return {
+            r["key"]: r["result"]
+            for r in store.iter_records()
+            if r["job"].get("mode") != "failure"
+        }
+
+
+@pytest.mark.chaos
+class TestChaosFleetCrash:
+    def _shard_plan(self):
+        """One 3-job shard: two EP statics, then an FT grid row.  A
+        store-stage crash keyed on FT dies after both EP rows are
+        flushed but before the FT row is written."""
+        jobs = static_jobs(
+            "EP",
+            points=[OperatingPoint(2.0, 1.6, 24), OperatingPoint(2.0, 2.0, 24)],
+        ) + grid_jobs(
+            "FT", label="heatmap",
+            points=[OperatingPoint(2.2, u, 24) for u in (1.8, 2.2)],
+        )
+        return CampaignPlan(jobs)
+
+    def test_sigkill_mid_shard_loses_no_completed_member_rows(
+        self, tmp_path, monkeypatch
+    ):
+        plan = self._shard_plan()
+        monkeypatch.delenv(FAULT_ENV, raising=False)
+        reference = {
+            topology_job_key(job, None): execute_job(job) for job in plan
+        }
+
+        # No retries: the crash is definitive, so what survives in the
+        # store is exactly what the worker persisted before dying.
+        monkeypatch.setenv(
+            FAULT_ENV,
+            '[{"action": "crash", "stage": "store", "mode": "fleet",'
+            ' "app": "FT", "attempts": [0]}]',
+        )
+        path = str(tmp_path / "crash.sqlite")
+        with ResultStore(path, backend="sqlite") as store:
+            engine = CampaignEngine(
+                store=store,
+                max_workers=2,
+                retry_policy=RetryPolicy(max_retries=0),
+            )
+            results = engine.run(plan, fleet=True, fleet_shard_size=3,
+                                 on_failure="skip")
+        assert results.report.failed > 0
+        rows = _store_rows(path, "sqlite")
+        ep_keys = [
+            topology_job_key(job, None) for job in plan if job.app == "EP"
+        ]
+        ft_key = topology_job_key(
+            next(job for job in plan if job.app == "FT"), None
+        )
+        # Both EP member rows flushed before the SIGKILL survive,
+        # bit-identical to undisturbed execution; the FT row died with
+        # the worker.
+        for key in ep_keys:
+            assert rows[key] == reference[key]
+        assert ft_key not in rows
+
+    def test_sigkill_mid_shard_retries_to_bit_identical_store(
+        self, tmp_path, monkeypatch
+    ):
+        plan = self._shard_plan()
+        monkeypatch.delenv(FAULT_ENV, raising=False)
+        ref_path = str(tmp_path / "ref.jsonl")
+        with ResultStore(ref_path) as store:
+            CampaignEngine(store=store, max_workers=1).run(plan)
+        reference = _store_rows(ref_path, "jsonl")
+
+        monkeypatch.setenv(
+            FAULT_ENV,
+            '[{"action": "crash", "stage": "store", "mode": "fleet",'
+            ' "app": "FT", "attempts": [0]}]',
+        )
+        path = str(tmp_path / "chaos.sqlite")
+        with ResultStore(path, backend="sqlite") as store:
+            engine = CampaignEngine(
+                store=store, max_workers=2, retry_policy=FAST_POLICY
+            )
+            results = engine.run(plan, fleet=True, fleet_shard_size=3)
+        assert results.report.failed == 0
+        assert results.report.retried >= 1
+        assert _store_rows(path, "sqlite") == reference

@@ -1,0 +1,123 @@
+"""Golden whole-paper regeneration manifest: pin every artefact at once.
+
+A scaled-down, fully seeded regeneration of the paper's artefact set —
+Figure 2/3 variability series, Figure 6/7 energy grids, the Table V
+argmins and the Table VI savings rows — is pinned to one committed
+manifest: the full artefact payloads (compared with a tight relative
+tolerance) plus their canonical-JSON sha256 checksums.  The artefacts
+are produced by :mod:`benchmarks.bench_paper_regen`, the same module
+the CI perf gate times, so the golden and the benchmark can never test
+different code paths.
+
+Engine independence is asserted in-process: the fleet-kernel
+regeneration and the per-cell loop reference must produce bit-identical
+checksums before either is compared to the fixture.
+
+Regenerate after an *intentional* change::
+
+    PYTHONPATH=src python tests/integration/test_golden_paper_regen.py --regen
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+if __package__ in (None, ""):  # script execution: make `benchmarks` importable
+    sys.path.insert(0, str(Path(__file__).resolve().parents[2]))
+
+from benchmarks.bench_paper_regen import checksum, regenerate_artifacts
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+FIXTURE = GOLDEN_DIR / "paper-regen-manifest.json"
+RELATIVE_TOLERANCE = 1e-6
+
+#: The manifest scale: thinned grids and two savings runs keep the
+#: regeneration fast while still touching every artefact family.
+STRIDE = 4
+RUNS = 2
+
+
+def compute_manifest(engine: str = "fleet") -> dict:
+    artifacts = regenerate_artifacts(engine, stride=STRIDE, runs=RUNS)
+    return {
+        "stride": STRIDE,
+        "runs": RUNS,
+        "checksums": {name: checksum(artifacts[name]) for name in artifacts},
+        "artifacts": artifacts,
+    }
+
+
+def _assert_matches(actual, expected, path=""):
+    if isinstance(expected, dict):
+        assert isinstance(actual, dict), path
+        assert set(actual) == set(expected), path
+        for key in expected:
+            _assert_matches(actual[key], expected[key], f"{path}/{key}")
+    elif isinstance(expected, list):
+        assert len(actual) == len(expected), path
+        for i, (a, e) in enumerate(zip(actual, expected)):
+            _assert_matches(a, e, f"{path}[{i}]")
+    elif isinstance(expected, float):
+        assert actual == pytest.approx(expected, rel=RELATIVE_TOLERANCE), path
+    else:
+        assert actual == expected, path
+
+
+@pytest.fixture(scope="module")
+def fleet_manifest():
+    return compute_manifest("fleet")
+
+
+def test_fixture_exists():
+    assert FIXTURE.exists(), (
+        f"missing fixture {FIXTURE}; regenerate with "
+        "`PYTHONPATH=src python tests/integration/test_golden_paper_regen.py"
+        " --regen`"
+    )
+
+
+def test_engine_independence(fleet_manifest):
+    """The per-cell loop reference regenerates bit-identical artefacts."""
+    loop = compute_manifest("loop")
+    assert loop["checksums"] == fleet_manifest["checksums"]
+
+
+def test_manifest_matches_golden(fleet_manifest):
+    expected = json.loads(FIXTURE.read_text())
+    assert set(fleet_manifest["artifacts"]) == set(expected["artifacts"])
+    _assert_matches(fleet_manifest["artifacts"], expected["artifacts"])
+
+
+def test_checksums_match_golden(fleet_manifest):
+    """The exact-bit manifest: any float drift flips a checksum."""
+    expected = json.loads(FIXTURE.read_text())
+    assert fleet_manifest["checksums"] == expected["checksums"]
+
+
+def main(argv=None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--regen", action="store_true",
+                        help="recompute and rewrite the manifest fixture")
+    args = parser.parse_args(argv)
+    if not args.regen:
+        parser.error("nothing to do; pass --regen to rewrite the fixture")
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    manifest = compute_manifest("fleet")
+    loop = compute_manifest("loop")
+    if loop["checksums"] != manifest["checksums"]:
+        print("ENGINE MISMATCH: refusing to write a fixture the loop "
+              "reference disagrees with")
+        return 1
+    FIXTURE.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {FIXTURE}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -48,6 +48,14 @@ class TestSweep:
 
 
 class TestDataset:
+    def test_fleet_strategy_builds_bit_identical_dataset(self):
+        loop = build_dataset(("EP", "Mcb"), thread_counts=(24,))
+        fleet = build_dataset(("EP", "Mcb"), thread_counts=(24,), fleet=True)
+        assert fleet.features.tolist() == loop.features.tolist()
+        assert fleet.targets.tolist() == loop.targets.tolist()
+        assert fleet.times.tolist() == loop.times.tolist()
+        assert fleet.groups.tolist() == loop.groups.tolist()
+
     def test_feature_layout(self, small_dataset):
         assert small_dataset.features.shape[1] == len(FEATURE_COUNTERS) + 2
         assert small_dataset.feature_names[-2:] == ("CF", "UCF")

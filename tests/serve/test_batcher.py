@@ -13,7 +13,8 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro import api
 from repro.errors import CampaignError
-from repro.serve.batcher import CoalescingBatcher, answer_group
+from repro.execution import fleet_replay
+from repro.serve.batcher import FLEET_KEY, CoalescingBatcher, answer_group
 
 #: The request universe for the property: small grids (stride 7 keeps
 #: 3 x 3 cells), two seeds, every objective.  Identities are distinct
@@ -100,20 +101,82 @@ class TestCoalescingBatcher:
             CoalescingBatcher(max_batch=0)
         with pytest.raises(CampaignError):
             CoalescingBatcher(max_wait_s=-1.0)
+        with pytest.raises(CampaignError, match="coalesce"):
+            CoalescingBatcher(coalesce="per-request")
+
+
+class TestFleetCoalescing:
+    """``coalesce="fleet"`` merges *across* grid keys (the service
+    default): different benchmarks, seeds and nodes share one pending
+    group, priced by a single fleet-kernel invocation."""
+
+    def test_distinct_grid_keys_share_one_group(self):
+        batcher = CoalescingBatcher(max_batch=8, coalesce="fleet")
+        requests = [
+            api.TuningRequest("EP", stride=7, seed=0).resolved(),
+            api.TuningRequest("EP", stride=7, seed=1).resolved(),
+            api.TuningRequest("FT", stride=7).resolved(),
+        ]
+        for request in requests:
+            assert batcher.key_for(request) == FLEET_KEY
+            batcher.admit(request)
+        assert batcher.coalesced == 2
+        group = batcher.pop(FLEET_KEY)
+        assert group is not None and group.requests == requests
+        assert batcher.pending == 0
+
+    def test_grid_mode_still_splits_by_grid_key(self):
+        batcher = CoalescingBatcher(max_batch=8, coalesce="grid")
+        a = api.TuningRequest("EP", stride=7, seed=0).resolved()
+        b = api.TuningRequest("FT", stride=7).resolved()
+        assert batcher.key_for(a) == a.grid_key()
+        batcher.admit(a)
+        batcher.admit(b)
+        assert batcher.coalesced == 0
+        assert len(batcher.due(now=float("inf"))) == 2
+
+    def test_two_apps_one_fleet_invocation_bit_identical(self, monkeypatch):
+        """The regression the fleet key exists for: two requests with
+        different benchmarks are priced by exactly one fleet-kernel
+        pass, and each answer is bit-identical to its solo answer."""
+        calls = []
+        real_fleet_run = fleet_replay.fleet_run
+
+        def counting_fleet_run(members, **kwargs):
+            calls.append(len(members))
+            return real_fleet_run(members, **kwargs)
+
+        monkeypatch.setattr(fleet_replay, "fleet_run", counting_fleet_run)
+        requests = [
+            api.TuningRequest("EP", stride=7).resolved(),
+            api.TuningRequest("FT", stride=7).resolved(),
+        ]
+        answers = answer_group(list(requests))
+        assert len(calls) == 1
+        # every cell of both benchmarks' grids rode the one invocation
+        assert calls[0] == sum(
+            len(axis_cfs) * len(axis_ucfs)
+            for axis_cfs, axis_ucfs in [api.grid_axes(7)] * 2
+        )
+        monkeypatch.undo()
+        for request, answer in zip(requests, answers):
+            assert answer.payload() == api.tune(request).payload()
 
 
 class TestAnswerGroup:
     def test_empty_group(self):
         assert answer_group([]) == []
 
-    def test_mixed_grid_keys_rejected(self):
-        with pytest.raises(CampaignError, match="grid key"):
-            answer_group(
-                [
-                    api.TuningRequest("EP", stride=7, seed=0).resolved(),
-                    api.TuningRequest("EP", stride=7, seed=1).resolved(),
-                ]
-            )
+    def test_mixed_grid_keys_answered_bit_identically(self):
+        """A group spanning grid keys (the fleet-coalesced case) gets
+        each member the same answer as its solo ``tune``."""
+        requests = [
+            api.TuningRequest("EP", stride=7, seed=0).resolved(),
+            api.TuningRequest("EP", stride=7, seed=1).resolved(),
+        ]
+        answers = answer_group(list(requests))
+        for request, answer in zip(requests, answers):
+            assert answer.payload() == solo_payload(request)
 
     @given(
         order=st.permutations(range(len(UNIVERSE))),

@@ -70,6 +70,30 @@ class TestLifecycle:
             )
             assert response["result"] == offline.payload()
 
+    def test_cross_benchmark_requests_coalesce_into_one_group(self):
+        """The service's default fleet coalescing merges requests for
+        *different* benchmarks into one group — one fleet-kernel pass —
+        with responses bit-identical to their offline answers."""
+        async def scenario():
+            service = TuningService(max_batch=8, max_wait_s=0.05)
+            payloads = [
+                dict(EP),
+                {"version": WIRE_VERSION, "benchmark": "FT", "stride": 7},
+            ]
+            responses = await asyncio.gather(
+                *(service.handle(p) for p in payloads)
+            )
+            await service.aclose()
+            return service, responses
+
+        service, responses = run(scenario())
+        assert service.batcher.coalesced == 1
+        assert service.batcher.groups_fired == 1
+        for benchmark, response in zip(("EP", "FT"), responses):
+            assert response["status"] == "ok"
+            offline = api.tune(api.TuningRequest(benchmark, stride=7))
+            assert response["result"] == offline.payload()
+
     def test_responses_are_json_serialisable(self):
         async def scenario():
             service = TuningService(max_wait_s=0.0)

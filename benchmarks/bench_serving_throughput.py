@@ -10,18 +10,35 @@ share one grid key, so the batched service measures the CF x UCF grid
 once per round and answers every client from it, while the unbatched
 control arm pays one full sweep per distinct request.
 
-Reported per arm: sustained requests/second and p50/p99 response
+Reported per arm: sustained requests/second and p50/p95/p99 response
 latency; the aggregate carries the batched/unbatched throughput ratio
 (machine-comparable, gated in CI against the committed baseline at
 ``benchmarks/baselines/serving-throughput.json``), the coalescing
 counter, and a bit-equality flag — every batched response must equal
 its unbatched twin, which in turn equals offline ``repro.api.tune``.
 
+``--workers N`` switches to the **scaling** benchmark instead: each
+client tunes its *own* grid (distinct seeds — no coalescing between
+clients, so every request is an independent group) against a fresh
+SQLite store, and the same load is replayed at a curve of worker-pool
+widths up to N.  The gated metric is ``aggregate.efficiency`` —
+parallel speedup normalised by ``min(workers, cores)`` — because the
+raw speedup is a property of the machine: on the single-core
+containers this repo develops in, a 4-worker pool *cannot* beat one
+in-process thread on wall clock (the committed baseline records
+exactly that machine context in ``cores``), while on a multi-core CI
+runner the same workload shows the real multiple.  Efficiency is
+portable across both; broken parallelism drops it on any machine with
+cores to spare.  ``parallel_speedup`` is reported ungated alongside.
+Bit-equality is gated in both modes.
+
 Runs standalone with JSON output (the CI perf-smoke step uploads the
 artifact)::
 
     python benchmarks/bench_serving_throughput.py --clients 8 --rounds 3 \
         --json serving-throughput.json
+    python benchmarks/bench_serving_throughput.py --workers 4 --rounds 2 \
+        --json serving-scaling.json
 
 or under pytest alongside the other benches.
 """
@@ -31,12 +48,15 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import os
 import platform
 import sys
+import tempfile
 import time
 from pathlib import Path
 
 from repro import config
+from repro.campaign.store import ResultStore
 from repro.execution.simulator import OperatingPoint
 from repro.readex.tuning_model import TuningModel
 from repro.serve.schema import WIRE_VERSION
@@ -110,6 +130,7 @@ async def _drive(service: TuningService, rounds: list[list[dict]]) -> dict:
             await asyncio.gather(*(timed(p) for p in round_payloads))
         )
     elapsed = time.perf_counter() - start
+    worker_pool = service.metrics_payload()["worker_pool"]
     await service.aclose()
     ordered = sorted(latencies)
 
@@ -122,9 +143,11 @@ async def _drive(service: TuningService, rounds: list[list[dict]]) -> dict:
         "elapsed_s": elapsed,
         "rps": len(latencies) / elapsed,
         "p50_ms": quantile(0.50) * 1e3,
+        "p95_ms": quantile(0.95) * 1e3,
         "p99_ms": quantile(0.99) * 1e3,
         "coalesced": service.batcher.coalesced,
         "groups_fired": service.batcher.groups_fired,
+        "worker_pool": worker_pool,
     }
 
 
@@ -176,6 +199,135 @@ def run_benchmark(
     }
 
 
+# ---------------------------------------------------------------------------
+# scaling mode (--workers N): independent grids across a worker curve
+# ---------------------------------------------------------------------------
+
+def scaling_round_requests(
+    clients: int, round_index: int, benchmark: str, stride: int
+) -> list[dict]:
+    """One scaling round: every client tunes its *own* grid.
+
+    Distinct seeds give distinct grid keys, so nothing coalesces across
+    clients — each request is an independent group and the only way to
+    go faster is to execute groups concurrently.  This is the workload
+    the batching benchmark deliberately excludes, and vice versa.
+    """
+    return [
+        {
+            "version": WIRE_VERSION,
+            "benchmark": benchmark,
+            "stride": stride,
+            "seed": 1_000 + round_index * clients + client,
+            "objective": OBJECTIVES[client % len(OBJECTIVES)],
+        }
+        for client in range(clients)
+    ]
+
+
+def measure_scaling_arm(
+    workers: int, rounds: list[list[dict]], benchmark: str
+) -> dict:
+    """One pool width, fresh SQLite store, same load as every arm."""
+    with tempfile.TemporaryDirectory(prefix="serving-scaling-") as tmp:
+        service = TuningService(
+            store=ResultStore(Path(tmp) / "scaling.sqlite"),
+            coalesce="grid",
+            max_batch=64,
+            max_wait_s=0.005,
+            workers=workers,
+            warm=(benchmark,),
+        )
+        assert service.pool_fallback is None, service.pool_fallback
+        result = asyncio.run(_drive(service, rounds))
+    result["workers"] = workers
+    return result
+
+
+def workers_curve(max_workers: int) -> list[int]:
+    """1, 2, 4, ... up to (and always including) ``max_workers``."""
+    curve = [1]
+    while curve[-1] * 2 < max_workers:
+        curve.append(curve[-1] * 2)
+    if max_workers > 1:
+        curve.append(max_workers)
+    return curve
+
+
+def run_scaling_benchmark(
+    max_workers: int,
+    clients: int = DEFAULT_CLIENTS,
+    rounds: int = DEFAULT_ROUNDS,
+    benchmark: str = DEFAULT_BENCHMARK,
+    stride: int = DEFAULT_STRIDE,
+) -> dict:
+    load = [
+        scaling_round_requests(clients, r, benchmark, stride)
+        for r in range(rounds)
+    ]
+    # warm-up outside the measurement (registry caches, schedule
+    # compilation — the per-arm pools additionally warm at fork)
+    measure_scaling_arm(
+        1, [scaling_round_requests(clients, 10_000, benchmark, stride)],
+        benchmark,
+    )
+    arms = [
+        measure_scaling_arm(workers, load, benchmark)
+        for workers in workers_curve(max_workers)
+    ]
+    reference = arms[0].pop("responses")
+    identical = all(r.get("status") == "ok" for r in reference)
+    for arm in arms[1:]:
+        identical = identical and all(
+            a.get("result") == r.get("result")
+            and a.get("status") == r.get("status") == "ok"
+            for a, r in zip(arm.pop("responses"), reference)
+        )
+    cores = os.cpu_count() or 1
+    speedup = arms[-1]["rps"] / arms[0]["rps"]
+    aggregate = {
+        "max_workers": max_workers,
+        "cores": cores,
+        # raw machine-bound multiple (reported, not gated) ...
+        "parallel_speedup": speedup,
+        # ... and the portable gated metric: speedup per usable core.
+        "efficiency": speedup / min(max_workers, cores),
+        "responses_identical": identical,
+    }
+    return {
+        "benchmark": "serving_scaling",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cores": cores,
+        "app": benchmark,
+        "clients": clients,
+        "rounds": rounds,
+        "stride": stride,
+        "arms": arms,
+        "aggregate": aggregate,
+    }
+
+
+def render_scaling(report: dict) -> str:
+    lines = [
+        f"{'workers':<8} {'req':>5} {'req/s':>8} {'p50':>9} {'p95':>9} "
+        f"{'pids':>5}",
+    ]
+    for arm in report["arms"]:
+        pids = len(arm["worker_pool"].get("groups_per_worker", {}))
+        lines.append(
+            f"{arm['workers']:<8} {arm['requests']:>5} {arm['rps']:>8.1f} "
+            f"{arm['p50_ms']:>7.1f}ms {arm['p95_ms']:>7.1f}ms {pids:>5}"
+        )
+    a = report["aggregate"]
+    lines.append(
+        f"{'aggregate':<8} speedup {a['parallel_speedup']:.2f}x on "
+        f"{a['cores']} core(s)  efficiency {a['efficiency']:.2f}  "
+        f"identical {a['responses_identical']}"
+    )
+    return "\n".join(lines)
+
+
 def render(report: dict) -> str:
     lines = [
         f"{'arm':<10} {'req':>5} {'req/s':>8} {'p50':>9} {'p99':>9} "
@@ -216,17 +368,45 @@ def test_serving_throughput(benchmark):
     assert report["aggregate"]["speedup"] > 2
 
 
+def test_serving_scaling(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_scaling_benchmark(2, clients=4, rounds=1),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_scaling(report))
+    # Bit-equality is machine-independent; the speedup is not (a
+    # single-core container cannot show one), so it is gated only via
+    # the committed-baseline efficiency ratio.
+    assert report["aggregate"]["responses_identical"]
+    assert report["aggregate"]["efficiency"] > 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--clients", type=int, default=DEFAULT_CLIENTS)
     parser.add_argument("--rounds", type=int, default=DEFAULT_ROUNDS)
     parser.add_argument("--app", default=DEFAULT_BENCHMARK)
     parser.add_argument("--stride", type=int, default=DEFAULT_STRIDE)
+    parser.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="run the worker-pool scaling benchmark up to N workers "
+             "instead of the batching benchmark",
+    )
     parser.add_argument("--json", type=Path, default=None,
                         help="write the full report as JSON")
     args = parser.parse_args(argv)
-    report = run_benchmark(args.clients, args.rounds, args.app, args.stride)
-    print(render(report))
+    if args.workers > 1:
+        report = run_scaling_benchmark(
+            args.workers, args.clients, args.rounds, args.app, args.stride
+        )
+        print(render_scaling(report))
+    else:
+        report = run_benchmark(
+            args.clients, args.rounds, args.app, args.stride
+        )
+        print(render(report))
     if args.json:
         args.json.write_text(json.dumps(report, indent=2) + "\n")
         print(f"\nwrote {args.json}")

@@ -14,13 +14,20 @@ serving-layer contracts:
 3. **Graceful drain** — SIGTERM makes the server drain and exit with
    code 130 (the documented contract, shared with ``repro-campaign``).
 
+With ``--workers N`` the server runs its warm process pool and the
+smoke additionally asserts the ``/metrics`` ``worker_pool`` gauges
+report the requested width (a pooled server needs a concurrent-writer
+``--store``, e.g. a ``.sqlite`` path — CI passes one).
+
 Usage (CI runs it from the repo root)::
 
     python scripts/serving_smoke.py
+    python scripts/serving_smoke.py --workers 2 --store smoke.sqlite
 """
 
 from __future__ import annotations
 
+import argparse
 import asyncio
 import json
 import os
@@ -57,7 +64,7 @@ async def http(port: int, method: str, path: str, body=None):
     return int(head.split()[1]), json.loads(payload)
 
 
-async def exercise(port: int) -> None:
+async def exercise(port: int, workers: int = 1) -> None:
     payloads = [
         {
             "version": WIRE_VERSION,
@@ -94,25 +101,53 @@ async def exercise(port: int) -> None:
         f"{metrics['groups_fired']} group(s)"
     )
 
+    pool = metrics["worker_pool"]
+    if workers > 1:
+        assert pool["workers"] == workers, (
+            f"pool did not come up at the requested width: {pool}"
+        )
+        assert "fallback" not in pool, pool
+        assert pool["groups_executed"] > 0, pool
+        print(
+            f"worker pool: {pool['workers']} workers, "
+            f"{pool['groups_executed']} group(s) executed across "
+            f"{len(pool['groups_per_worker'])} process(es)"
+        )
+    else:
+        assert pool["workers"] == 1, pool
+
     status, health = await http(port, "GET", "/healthz")
     assert status == 200 and health["status"] == "ok", health
 
 
-def main() -> int:
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=1,
+                        help="run the server's warm process pool at this width")
+    parser.add_argument("--store", default=None,
+                        help="result-store path handed to the server "
+                             "(pooled smoke needs a concurrent backend)")
+    args = parser.parse_args(argv)
+
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
         filter(None, [str(REPO / "src"), env.get("PYTHONPATH", "")])
     )
+    command = [
+        sys.executable,
+        "-m",
+        "repro.serve.server",
+        "--port",
+        "0",
+        "--max-wait-ms",
+        "25",
+        "--workers",
+        str(args.workers),
+    ]
+    if args.store is not None:
+        command += ["--store", args.store]
     process = subprocess.Popen(
-        [
-            sys.executable,
-            "-m",
-            "repro.serve.server",
-            "--port",
-            "0",
-            "--max-wait-ms",
-            "25",
-        ],
+        command,
         stdout=subprocess.PIPE,
         stderr=subprocess.PIPE,
         env=env,
@@ -126,7 +161,7 @@ def main() -> int:
         port = int(banner.rsplit(":", 1)[1])
         print(banner)
 
-        asyncio.run(exercise(port))
+        asyncio.run(exercise(port, workers=args.workers))
 
         process.send_signal(signal.SIGTERM)
         deadline = time.monotonic() + 60

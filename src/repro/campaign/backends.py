@@ -387,7 +387,14 @@ class SqliteBackend:
             return None
         try:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            conn = sqlite3.connect(str(self.path), timeout=30.0)
+            # The serving layer reads on its event-loop thread and
+            # writes on its executor thread through one store handle;
+            # CPython's sqlite3 is built serialized (threadsafety 3),
+            # so cross-thread use of a connection is safe — SQLite's
+            # own mutex interleaves the calls.
+            conn = sqlite3.connect(
+                str(self.path), timeout=30.0, check_same_thread=False
+            )
             conn.isolation_level = None  # explicit transactions below
             conn.execute("PRAGMA journal_mode=WAL")
             conn.execute("PRAGMA synchronous=NORMAL")

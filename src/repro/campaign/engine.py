@@ -47,6 +47,7 @@ from repro.campaign.faultinject import maybe_fault
 from repro.campaign.plan import (
     DEFAULT_FLEET_SHARD_SIZE,
     FLEET_MODES,
+    FLEET_SCHEDULES,
     CampaignJob,
     CampaignPlan,
     FleetShard,
@@ -623,11 +624,22 @@ class CampaignEngine:
         max_workers: int | None = None,
         topology: NodeTopology | None = None,
         retry_policy: RetryPolicy | None = None,
+        fleet_schedule: str = "static",
     ):
+        if fleet_schedule not in FLEET_SCHEDULES:
+            raise CampaignError(
+                f"unknown fleet schedule: {fleet_schedule!r}; "
+                f"known: {FLEET_SCHEDULES}"
+            )
         self.store = store
         self.max_workers = max_workers
         self.topology = topology
         self.retry_policy = retry_policy if retry_policy is not None else RetryPolicy()
+        #: Default shard schedule for ``run(fleet=True)``: ``"static"``
+        #: pre-partitions fixed-size shards, ``"steal"`` sizes shards
+        #: for work stealing (idle workers pull decreasing chunks, so
+        #: heterogeneous app mixes lose their straggler tail).
+        self.fleet_schedule = fleet_schedule
         self.total_executed = 0
         self.total_cached = 0
 
@@ -641,6 +653,7 @@ class CampaignEngine:
         resume_manifest: str | Path | None = None,
         fleet: bool = False,
         fleet_shard_size: int = DEFAULT_FLEET_SHARD_SIZE,
+        fleet_schedule: str | None = None,
     ) -> CampaignResults:
         """Execute (or recall) every job of ``plan``.
 
@@ -649,10 +662,15 @@ class CampaignEngine:
         :class:`~repro.campaign.plan.FleetShard`\\ s of up to
         ``fleet_shard_size`` jobs and priced through the batched fleet
         kernel — one kernel invocation per shard, shards pool-parallel.
-        Payloads, store keys and caching are identical to per-job
-        execution (fleet is a strategy, not a schema); non-fleet-able
-        jobs in the plan run through the per-job path of the same
-        resilient pass.
+        ``fleet_schedule`` (``None`` defers to the engine's default)
+        picks how shards are sized: ``"static"`` fixed-size slices,
+        ``"steal"`` decreasing work-stealing chunks
+        (:func:`~repro.campaign.plan.steal_shard_sizes`) so free
+        workers always find a next shard and a heterogeneous mix has
+        no straggler tail.  Payloads, store keys and caching are
+        identical to per-job execution under either schedule (fleet is
+        a strategy, not a schema); non-fleet-able jobs in the plan run
+        through the per-job path of the same resilient pass.
 
         ``on_failure`` decides what a definitive job failure does:
         ``"raise"`` (the default) aborts with a
@@ -717,6 +735,9 @@ class CampaignEngine:
                 outcome = self._execute_pending_fleet(
                     pending, workers, payloads, on_failure, drain,
                     fleet_shard_size,
+                    self.fleet_schedule
+                    if fleet_schedule is None
+                    else fleet_schedule,
                 )
             else:
                 outcome = self._execute_pending(
@@ -949,24 +970,34 @@ class CampaignEngine:
         on_failure: str,
         drain: DrainFlag,
         shard_size: int,
+        schedule: str = "static",
     ) -> PoolOutcome:
         """Run the uncached jobs with fleet-able modes batched.
 
         Fleet-able jobs group into shards (one fleet-kernel pass each);
         any remaining jobs (``counters``) ride the per-job path in the
-        same resilient pass.  Tasks are identified by shard position
-        (``int``) or job store key (``str``); the returned outcome is
-        translated back to job-key space, so the caller's failure and
-        quarantine plumbing is strategy-agnostic.  A failed shard marks
-        every member job failed — except those whose rows a
-        direct-writing worker persisted before dying, which later runs
-        recall from the store.
+        same resilient pass.  The resilient pool is already pull-based
+        (windowed submission: a worker takes the next task when free),
+        so ``schedule="steal"`` turns it into a work-stealing scheduler
+        purely by shard *sizing* — decreasing chunks instead of equal
+        slabs — with the retry/timeout/respawn semantics unchanged.
+        Tasks are identified by shard position (``int``) or job store
+        key (``str``); the returned outcome is translated back to
+        job-key space, so the caller's failure and quarantine plumbing
+        is strategy-agnostic.  A failed shard marks every member job
+        failed — except those whose rows a direct-writing worker
+        persisted before dying, which later runs recall from the store.
         """
         if not pending:
             return PoolOutcome()
         fleetable = [(k, j) for k, j in pending if j.mode in FLEET_MODES]
         rest = [(k, j) for k, j in pending if j.mode not in FLEET_MODES]
-        shards = fleet_jobs([job for _, job in fleetable], shard_size=shard_size)
+        shards = fleet_jobs(
+            [job for _, job in fleetable],
+            shard_size=shard_size,
+            schedule=schedule,
+            workers=max(1, workers),
+        )
         shard_keys: list[tuple[str, ...]] = []
         pos = 0
         for shard in shards:

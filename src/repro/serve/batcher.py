@@ -44,6 +44,7 @@ __all__ = [
     "FLEET_KEY",
     "PendingGroup",
     "answer_group",
+    "split_group",
 ]
 
 #: Coalescing keys the batcher understands: per grid key, or one fleet.
@@ -172,6 +173,41 @@ class CoalescingBatcher:
     @property
     def pending(self) -> int:
         return sum(len(g.requests) for g in self._groups.values())
+
+
+def split_group(group: PendingGroup, parts: int) -> list[PendingGroup]:
+    """Partition one fired group by grid key for parallel execution.
+
+    A fleet-coalesced group holds *every* pending request; executing it
+    as one unit would serialise the whole queue onto one pool worker.
+    Splitting by grid key keeps the batching win intact — requests that
+    share a measurement stay together, so no grid is ever measured
+    twice — while distinct grids spread round-robin across up to
+    ``parts`` subgroups that execute concurrently.  Admission order is
+    preserved within each subgroup and answers are bit-identical either
+    way (only ``meta.coalesced``, which is explicitly not part of the
+    answer, observes the partitioning).
+    """
+    if parts <= 1 or len(group.requests) <= 1:
+        return [group]
+    slot_of: dict[tuple, int] = {}
+    buckets: list[PendingGroup] = []
+    for request, ticket in zip(group.requests, group.tickets):
+        key = request.grid_key()
+        slot = slot_of.get(key)
+        if slot is None:
+            slot = len(slot_of) % parts
+            slot_of[key] = slot
+            if slot == len(buckets):
+                buckets.append(
+                    PendingGroup(
+                        key=group.key + (slot,), deadline=group.deadline
+                    )
+                )
+        bucket = buckets[slot]
+        bucket.requests.append(request)
+        bucket.tickets.append(ticket)
+    return buckets
 
 
 def answer_group(

@@ -148,19 +148,29 @@ def request_payload(request: TuningRequest) -> dict[str, Any]:
 
 
 def ok_response(
-    answer: TuningAnswer, *, meta: dict[str, Any] | None = None
+    answer: TuningAnswer | dict[str, Any],
+    *,
+    meta: dict[str, Any] | None = None,
 ) -> dict[str, Any]:
     """A success envelope around one tuning answer.
+
+    ``answer`` is either a :class:`~repro.api.TuningAnswer` or its
+    already-serialised :meth:`~repro.api.TuningAnswer.payload` dict —
+    pool workers ship payload dicts across the process boundary, and
+    re-hydrating them only to re-serialise would be waste.
 
     ``meta`` carries serving diagnostics (cache/coalescing facts) that
     are explicitly *not* part of the answer: two responses for the same
     request must have equal ``result`` regardless of how they were
     produced, while ``meta`` may differ.
     """
+    result = (
+        answer.payload() if isinstance(answer, TuningAnswer) else answer
+    )
     return {
         "version": WIRE_VERSION,
         "status": "ok",
-        "result": answer.payload(),
+        "result": result,
         "meta": dict(meta or {}),
     }
 

@@ -39,7 +39,7 @@ from typing import Any
 from repro.campaign.store import ResultStore
 from repro.serve import batcher as batching
 from repro.serve.schema import error_response
-from repro.serve.service import TuningService
+from repro.serve.service import DEFAULT_DRAIN_DEADLINE_S, TuningService
 
 __all__ = ["TuningServer", "main"]
 
@@ -227,6 +227,31 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="retry jobs with persisted failure records instead of refusing them",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="execute independent coalesced groups on this many warm "
+             "worker processes (needs a concurrent-writer store backend "
+             "such as SQLite/segments; JSONL/in-memory stores fall back "
+             "to the serial in-process path)",
+    )
+    parser.add_argument(
+        "--drain-deadline-s",
+        type=float,
+        default=DEFAULT_DRAIN_DEADLINE_S,
+        help="on SIGTERM/SIGINT, cancel groups still queued after this "
+             "many seconds with a structured 'draining' error instead "
+             "of waiting forever (running groups always finish)",
+    )
+    parser.add_argument(
+        "--warm",
+        nargs="*",
+        default=[],
+        metavar="BENCHMARK",
+        help="preload these benchmarks' caches before the worker pool "
+             "forks, so steady-state dispatch pays no warm-up",
+    )
     return parser
 
 
@@ -239,7 +264,12 @@ async def _amain(args: argparse.Namespace) -> int:
         admission="unbatched" if args.unbatched else "batched",
         coalesce=args.coalesce,
         retry_failed=args.retry_failed,
+        workers=args.workers,
+        drain_deadline_s=args.drain_deadline_s,
+        warm=tuple(args.warm),
     )
+    if service.pool_fallback is not None:
+        print(f"workers fallback: {service.pool_fallback}", flush=True)
     server = TuningServer(service, host=args.host, port=args.port)
     stop = asyncio.Event()
     drained_by_signal = False

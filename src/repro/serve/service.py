@@ -21,15 +21,23 @@
 3. **Coalesce** — distinct pending requests sharing a grid key wait in
    the :class:`~repro.serve.batcher.CoalescingBatcher` and are answered
    from one pass of the sweep kernel.
-4. **Execute** — groups run on a single worker thread through the
-   campaign engine (store-backed caching plus the PR-7 retry/timeout
-   semantics); definitive failures come back as structured
-   ``quarantined`` / ``execution-error`` responses, never as a dead
-   connection.
+4. **Execute** — with ``workers >= 2`` and a concurrent-writer store
+   backend, independent groups execute *concurrently* on the warm
+   process pool of :mod:`repro.serve.workers` (fleet-coalesced groups
+   are first split by grid key so distinct measurements spread across
+   workers); otherwise groups run serially on one worker thread.
+   Either way execution goes through the campaign engine (store-backed
+   caching plus the PR-7 retry/timeout semantics) and definitive
+   failures come back as structured ``quarantined`` /
+   ``execution-error`` responses, never as a dead connection.
+   Responses are bit-identical across both paths.
 
 Graceful drain (:meth:`drain`): stop admitting, flush every pending
-group immediately, and wait for in-flight work — every accepted request
-gets its response before the process exits.
+group immediately, and wait for in-flight work — bounded by the drain
+deadline: a group still *queued* (not yet started) when the deadline
+expires is cancelled and its waiters get a structured ``draining``
+error instead of hanging forever; groups already running always finish
+and answer normally.
 """
 
 from __future__ import annotations
@@ -50,17 +58,22 @@ from repro.campaign.engine import (
 from repro.campaign.plan import grid_jobs
 from repro.campaign.resilience import FailureRecord, failure_descriptor
 from repro.campaign.store import ResultStore, job_key
-from repro.errors import (
-    CampaignExecutionError,
-    ReproError,
-    SchemaError,
-    TuningError,
-)
+from repro.errors import ReproError, SchemaError, TuningError
 from repro.execution.simulator import OperatingPoint
 from repro.serve import batcher as batching
+from repro.serve import workers as pooling
 from repro.serve.schema import error_response, ok_response, parse_request
 
-__all__ = ["ServiceMetrics", "TuningService"]
+__all__ = ["DEFAULT_DRAIN_DEADLINE_S", "ServiceMetrics", "TuningService"]
+
+#: Default bound on :meth:`TuningService.drain`: how long flushed and
+#: in-flight groups may keep executing before still-queued ones are
+#: cancelled with a ``draining`` error.
+DEFAULT_DRAIN_DEADLINE_S = 30.0
+
+#: Sentinel distinguishing "use the service default" from an explicit
+#: ``deadline_s=None`` (wait forever) in :meth:`TuningService.drain`.
+_UNSET: Any = object()
 
 
 @dataclass
@@ -78,6 +91,8 @@ class ServiceMetrics:
     drain_rejections: int = 0
     #: Requests answered with a ``quarantined`` error.
     quarantined: int = 0
+    #: Requests whose queued group was cancelled at the drain deadline.
+    drain_cancelled: int = 0
 
     def payload(self) -> dict[str, int]:
         return {
@@ -88,6 +103,7 @@ class ServiceMetrics:
             "inflight_joins": self.inflight_joins,
             "drain_rejections": self.drain_rejections,
             "quarantined": self.quarantined,
+            "drain_cancelled": self.drain_cancelled,
         }
 
 
@@ -110,6 +126,14 @@ class TuningService:
     keeping the rest of the lifecycle identical.  A ``store`` turns on
     persistent dedup and quarantine; without one the service still
     coalesces and joins in-flight duplicates, it just never remembers.
+
+    ``workers >= 2`` executes independent groups concurrently on a
+    warm process pool (:mod:`repro.serve.workers`) when the store can
+    take parallel writers (SQLite/segments, or no store at all); a
+    JSONL or in-memory store falls back to the serial in-process path
+    and records why under ``worker_pool.fallback`` in the metrics.
+    ``warm`` names benchmarks whose caches are preloaded before the
+    pool forks, so workers start warm.
     """
 
     def __init__(
@@ -122,6 +146,9 @@ class TuningService:
         coalesce: str = "fleet",
         retry_failed: bool = False,
         retry_policy=None,
+        workers: int = 1,
+        drain_deadline_s: float | None = DEFAULT_DRAIN_DEADLINE_S,
+        warm: tuple[str, ...] = (),
     ):
         if admission not in ("batched", "unbatched"):
             raise SchemaError(
@@ -158,13 +185,53 @@ class TuningService:
         )
         self._inflight: dict[api.TuningRequest, _Inflight] = {}
         self._draining = False
+        self.drain_deadline_s = drain_deadline_s
         self._group_tasks: set[asyncio.Task] = set()
-        # One worker thread: groups execute serially, so the engine and
-        # store never see concurrent in-process writers, and batched
-        # throughput gains come from doing fewer sweeps, not more cores.
+        #: Cancellation handles of dispatched groups (drain deadline).
+        self._dispatches: set[pooling.GroupDispatch] = set()
+        # Serial path: one worker thread, so the engine and store never
+        # see concurrent in-process writers and batched throughput
+        # gains come from doing fewer sweeps — the pool below is what
+        # adds cores.
         self._executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-serve"
         )
+        self._serial_inflight = 0
+        self._serial_groups = 0
+        # Parallel path: a warm process pool, only when the store can
+        # take concurrent writers (or there is no store to write).
+        self.workers = 1
+        self.pool_fallback: str | None = None
+        self._pool: pooling.WorkerPool | None = None
+        requested = max(1, int(workers))
+        if requested > 1:
+            reason = pooling.pool_supported(store)
+            if reason is not None:
+                self.pool_fallback = reason
+            else:
+                spec = pooling.WorkerSpec(
+                    store_path=(
+                        str(store.path) if store is not None else None
+                    ),
+                    store_backend=(
+                        store.backend if store is not None else None
+                    ),
+                    retry_failed=retry_failed,
+                    warm=tuple(warm),
+                )
+                self._pool = pooling.WorkerPool(requested, spec)
+                # Workers must not inherit an open store handle: release
+                # the parent's before the pool forks, reopen after.
+                if store is not None:
+                    store.release()
+                try:
+                    self._pool.start()
+                finally:
+                    if store is not None:
+                        store.refresh()
+                self.workers = requested
+        elif warm:
+            pooling.warm_process(tuple(warm))
 
     # ------------------------------------------------------------------
     @property
@@ -180,7 +247,23 @@ class TuningService:
             pending=self.batcher.pending,
             inflight=len(self._inflight),
         )
+        payload["worker_pool"] = self._pool_metrics()
         return payload
+
+    def _pool_metrics(self) -> dict[str, Any]:
+        """Worker-pool gauges: saturation must be observable."""
+        if self._pool is not None:
+            return self._pool.metrics()
+        gauges: dict[str, Any] = {
+            "workers": 1,
+            "busy_workers": min(1, self._serial_inflight),
+            "queue_depth": max(0, self._serial_inflight - 1),
+            "groups_executed": self._serial_groups,
+            "groups_per_worker": {"in-process": self._serial_groups},
+        }
+        if self.pool_fallback is not None:
+            gauges["fallback"] = self.pool_fallback
+        return gauges
 
     # ------------------------------------------------------------------
     async def handle(self, payload: Any) -> dict[str, Any]:
@@ -328,50 +411,97 @@ class TuningService:
         group = self.batcher.pop(key)
         if group is None:
             return  # already fired (max_batch or drain beat the timer)
-        task = asyncio.get_running_loop().create_task(
-            self._execute_group(group)
+        self._launch(group)
+
+    def _launch(self, group: batching.PendingGroup) -> None:
+        """Start one fired group's execution task(s).
+
+        With a pool, a fleet-coalesced group is first split by grid key
+        (``batching.split_group``) so distinct measurements execute
+        concurrently across workers instead of serialising the whole
+        queue onto one; requests sharing a grid stay together, so no
+        measurement is duplicated.  Serially, the group runs whole.
+        """
+        loop = asyncio.get_running_loop()
+        parts = (
+            batching.split_group(group, self.workers)
+            if self._pool is not None
+            else [group]
         )
-        self._group_tasks.add(task)
-        task.add_done_callback(self._group_tasks.discard)
+        for part in parts:
+            task = loop.create_task(self._execute_group(part))
+            self._group_tasks.add(task)
+            task.add_done_callback(self._group_tasks.discard)
+
+    async def _dispatch_group(
+        self,
+        requests: list[api.TuningRequest],
+        dispatch: pooling.GroupDispatch,
+    ) -> tuple:
+        """Execute one group; returns a worker-style outcome tuple."""
+        if self._pool is not None:
+            return await self._pool.run_group(requests, dispatch)
+        future = self._executor.submit(
+            batching.answer_group, list(requests), self.options
+        )
+        dispatch.future = future
+        self._serial_inflight += 1
+        try:
+            answers = await asyncio.wrap_future(future)
+        finally:
+            self._serial_inflight -= 1
+        self._serial_groups += 1
+        return ("ok", [answer.payload() for answer in answers], None)
 
     async def _execute_group(self, group: batching.PendingGroup) -> None:
-        loop = asyncio.get_running_loop()
+        dispatch = pooling.GroupDispatch()
+        self._dispatches.add(dispatch)
         coalesced = len(group.requests) - 1
         try:
-            answers = await loop.run_in_executor(
-                self._executor,
-                batching.answer_group,
-                group.requests,
-                self.options,
-            )
-        except ReproError as exc:
-            response = self._failure_response(exc)
-            if response["error"]["code"] == "quarantined":
+            try:
+                outcome = await self._dispatch_group(
+                    group.requests, dispatch
+                )
+            except asyncio.CancelledError:
+                if not dispatch.cancelled:
+                    raise
+                # Drain deadline: this group never started executing.
+                self.metrics.drain_cancelled += len(group.requests)
+                response = error_response(
+                    "draining",
+                    "the drain deadline expired before this queued "
+                    "group started; resubmit against another instance",
+                )
+                for request in group.requests:
+                    self._resolve(request, dict(response))
+                return
+            except ReproError as exc:
+                outcome = ("error", pooling.failure_envelope(exc), None)
+            except Exception as exc:  # pool broken beyond its respawn budget
+                outcome = (
+                    "error",
+                    error_response(
+                        "internal",
+                        f"worker pool failed executing this group: {exc}",
+                    ),
+                    None,
+                )
+        finally:
+            self._dispatches.discard(dispatch)
+        if outcome[0] == "error":
+            envelope = outcome[1]
+            if envelope["error"]["code"] == "quarantined":
                 self.metrics.quarantined += len(group.requests)
             for request in group.requests:
-                self._resolve(request, dict(response))
+                self._resolve(request, dict(envelope))
             return
-        for request, answer in zip(group.requests, answers):
+        for request, payload in zip(group.requests, outcome[1]):
             self._resolve(
                 request,
                 ok_response(
-                    answer, meta={"cached": False, "coalesced": coalesced}
+                    payload, meta={"cached": False, "coalesced": coalesced}
                 ),
             )
-
-    def _failure_response(self, exc: ReproError) -> dict[str, Any]:
-        # Under on_failure="quarantine" a failed job surfaces when the
-        # facade indexes its missing payload: a CampaignError naming the
-        # failure and the retry_failed remedy.  Both that and an
-        # explicit CampaignExecutionError mean "this job is known bad".
-        if isinstance(exc, CampaignExecutionError):
-            detail = "; ".join(
-                record.describe() for record in exc.failures.values()
-            )
-            return error_response("quarantined", detail or str(exc))
-        if "retry_failed" in str(exc):
-            return error_response("quarantined", str(exc))
-        return error_response("execution-error", str(exc))
 
     def _resolve(self, request: api.TuningRequest, response: dict) -> None:
         entry = self._inflight.pop(request, None)
@@ -379,26 +509,40 @@ class TuningService:
             entry.future.set_result(response)
 
     # ------------------------------------------------------------------
-    async def drain(self) -> None:
-        """Stop admitting, flush pending groups, await in-flight work."""
+    async def drain(self, deadline_s: float | None = _UNSET) -> None:
+        """Stop admitting, flush pending groups, await in-flight work.
+
+        Bounded: after ``deadline_s`` (defaulting to the service's
+        ``drain_deadline_s``; ``None`` waits forever) any group that
+        has not *started* executing is cancelled and its waiters get a
+        structured ``draining`` error.  Groups already running always
+        finish and answer normally — cancellation succeeds only on
+        queued executor futures, so no in-progress work is interrupted.
+        """
         self._draining = True
+        if deadline_s is _UNSET:
+            deadline_s = self.drain_deadline_s
         for group in self.batcher.drain():
-            task = asyncio.get_running_loop().create_task(
-                self._execute_group(group)
-            )
-            self._group_tasks.add(task)
-            task.add_done_callback(self._group_tasks.discard)
+            self._launch(group)
         while self._group_tasks:
-            await asyncio.gather(
-                *list(self._group_tasks), return_exceptions=True
+            done, pending = await asyncio.wait(
+                set(self._group_tasks), timeout=deadline_s
             )
+            if pending:
+                for dispatch in list(self._dispatches):
+                    dispatch.cancel()
+                # Cancelled groups resolve immediately with `draining`;
+                # running ones keep going — wait them out unbounded.
+                deadline_s = None
         futures = [e.future for e in self._inflight.values()]
         if futures:
             await asyncio.gather(*futures, return_exceptions=True)
 
     async def aclose(self) -> None:
-        """Drain, then release the worker thread and flush the store."""
+        """Drain, then release the execution backends and the store."""
         await self.drain()
         self._executor.shutdown(wait=True)
+        if self._pool is not None:
+            self._pool.close()
         if self.engine is not None and self.engine.store is not None:
             self.engine.store.flush()

@@ -388,6 +388,15 @@ def main_campaign(argv: list[str] | None = None) -> int:
         metavar="N",
         help="jobs per fleet-kernel invocation (default: 16)",
     )
+    run_p.add_argument(
+        "--fleet-schedule",
+        choices=("static", "steal"),
+        default=None,
+        help="fleet shard sizing: 'static' (default) pre-partitions "
+        "fixed-size shards; 'steal' sizes shards for work stealing — "
+        "idle workers pull decreasing chunks, killing the straggler "
+        "tail on heterogeneous app mixes (results bit-identical)",
+    )
 
     status_p = sub.add_parser("status", help="summarise a result store")
     status_p.add_argument(
@@ -503,6 +512,8 @@ def _campaign_dispatch(args) -> int:
             fleet_kwargs = {}
             if args.fleet_shard_size is not None:
                 fleet_kwargs["fleet_shard_size"] = args.fleet_shard_size
+            if args.fleet_schedule is not None:
+                fleet_kwargs["fleet_schedule"] = args.fleet_schedule
             results = engine.run(
                 plan,
                 on_failure=args.on_failure,

@@ -45,10 +45,30 @@ def grid_report(speedup: float, identical: bool = True) -> dict:
     }
 
 
-def regen_report(speedup: float, identical: bool = True) -> dict:
+def regen_report(
+    speedup: float,
+    identical: bool = True,
+    pooled_speedup: float = 2.5,
+    pooled_identical: bool = True,
+) -> dict:
     return {
         "benchmark": "paper_regen",
-        "aggregate": {"speedup": speedup, "artifacts_identical": identical},
+        "aggregate": {
+            "speedup": speedup,
+            "artifacts_identical": identical,
+            "pooled_speedup": pooled_speedup,
+            "pooled_identical": pooled_identical,
+        },
+    }
+
+
+def scaling_report(efficiency: float, identical: bool = True) -> dict:
+    return {
+        "benchmark": "serving_scaling",
+        "aggregate": {
+            "efficiency": efficiency,
+            "responses_identical": identical,
+        },
     }
 
 
@@ -125,6 +145,37 @@ class TestGate:
         baseline = write(tmp_path / "b.json", regen_report(4.5))
         assert gate.main([str(current), str(baseline)]) == 0
 
+    def test_fails_on_pooled_regen_slowdown(self, tmp_path):
+        current = write(
+            tmp_path / "a.json", regen_report(4.5, pooled_speedup=1.0)
+        )
+        baseline = write(tmp_path / "b.json", regen_report(4.5))
+        assert gate.main([str(current), str(baseline)]) == 1
+
+    def test_fails_when_pooled_regen_diverges(self, tmp_path):
+        current = write(
+            tmp_path / "a.json", regen_report(4.5, pooled_identical=False)
+        )
+        baseline = write(tmp_path / "b.json", regen_report(4.5))
+        assert gate.main([str(current), str(baseline)]) == 1
+
+    def test_fails_on_scaling_efficiency_drop(self, tmp_path):
+        current = write(tmp_path / "a.json", scaling_report(0.2))
+        baseline = write(tmp_path / "b.json", scaling_report(0.8))
+        assert gate.main([str(current), str(baseline)]) == 1
+
+    def test_fails_when_scaling_responses_diverge(self, tmp_path):
+        current = write(
+            tmp_path / "a.json", scaling_report(0.9, identical=False)
+        )
+        baseline = write(tmp_path / "b.json", scaling_report(0.8))
+        assert gate.main([str(current), str(baseline)]) == 1
+
+    def test_passes_on_healthy_scaling_report(self, tmp_path):
+        current = write(tmp_path / "a.json", scaling_report(0.7))
+        baseline = write(tmp_path / "b.json", scaling_report(0.8))
+        assert gate.main([str(current), str(baseline)]) == 0
+
     def test_max_drop_flag(self, tmp_path):
         current = write(tmp_path / "a.json", sim_report(9.0))
         baseline = write(tmp_path / "b.json", sim_report(12.0))
@@ -168,6 +219,21 @@ class TestCommittedBaselines:
         # The fleet kernel's acceptance claim, pinned at baseline time.
         assert report["aggregate"]["speedup"] >= 3
         assert report["aggregate"]["artifacts_identical"] is True
+        # The pooled-fleet arm rides the same report: bit-identical, and
+        # still well ahead of the per-cell loop even paying fork costs.
+        assert report["aggregate"]["pooled_speedup"] >= 1.5
+        assert report["aggregate"]["pooled_identical"] is True
+
+    def test_serving_scaling_baseline(self):
+        report = json.loads(
+            (self.BASELINES / "serving-scaling.json").read_text()
+        )
+        assert report["benchmark"] == "serving_scaling"
+        # Core-normalised efficiency is the portable claim; the raw
+        # speedup multiple depends on how many cores the runner has.
+        assert report["aggregate"]["efficiency"] > 0.5
+        assert report["aggregate"]["responses_identical"] is True
+        assert report["aggregate"]["max_workers"] >= 2
 
     def test_dynamic_replay_baseline(self):
         report = json.loads((self.BASELINES / "dynamic-replay.json").read_text())
@@ -191,6 +257,7 @@ class TestCommittedBaselines:
             "dynamic-replay.json",
             "grid-sweep.json",
             "paper-regen.json",
+            "serving-scaling.json",
         ):
             path = self.BASELINES / name
             assert gate.main([str(path), str(path)]) == 0

@@ -24,6 +24,7 @@ from repro.campaign.plan import (
     grid_jobs,
     savings_jobs,
     static_jobs,
+    steal_shard_sizes,
     sweep_jobs,
 )
 from repro.errors import CampaignError
@@ -160,6 +161,67 @@ class TestFleetSharding:
     def test_empty_shard_rejected(self):
         with pytest.raises(CampaignError):
             FleetShard(jobs=())
+
+
+class TestStealSchedule:
+    def test_steal_sizes_partition_and_decrease(self):
+        for count in (1, 5, 16, 37, 100):
+            for workers in (1, 2, 4, 8):
+                sizes = steal_shard_sizes(count, workers=workers)
+                assert sum(sizes) == count
+                assert all(1 <= s <= 16 for s in sizes)
+                # guided self-scheduling: sizes never increase
+                assert list(sizes) == sorted(sizes, reverse=True)
+
+    def test_steal_sizes_respect_shard_cap(self):
+        sizes = steal_shard_sizes(200, workers=1, shard_size=8)
+        assert max(sizes) <= 8
+        assert sum(sizes) == 200
+
+    def test_steal_sizes_empty_and_bad_inputs(self):
+        assert steal_shard_sizes(0, workers=2) == ()
+        with pytest.raises(CampaignError, match="workers"):
+            steal_shard_sizes(4, workers=0)
+        with pytest.raises(CampaignError, match="shard_size"):
+            steal_shard_sizes(4, workers=2, shard_size=0)
+
+    def test_steal_shards_visit_jobs_in_order(self):
+        jobs = sweep_jobs("EP", threads=24)[:10]
+        shards = fleet_jobs(
+            list(jobs), shard_size=4, schedule="steal", workers=2
+        )
+        assert tuple(j for s in shards for j in s) == jobs
+        assert [len(s) for s in shards] == list(
+            steal_shard_sizes(10, workers=2, shard_size=4)
+        )
+
+    def test_unknown_schedule_rejected(self):
+        with pytest.raises(CampaignError, match="schedule"):
+            fleet_jobs(
+                list(sweep_jobs("EP", threads=24)[:2]), schedule="chaos"
+            )
+        with pytest.raises(CampaignError, match="schedule"):
+            CampaignEngine(fleet_schedule="chaos")
+
+    def test_steal_fleet_matches_static_and_per_job(self, tmp_path):
+        plan = mixed_plan()
+        _, ref = run_plan(tmp_path, "ref.jsonl", plan)
+        _, steal = run_plan(
+            tmp_path, "steal.sqlite", plan, backend="sqlite", workers=2,
+            fleet=True, fleet_shard_size=3, fleet_schedule="steal",
+        )
+        assert steal == ref
+
+    def test_engine_default_schedule_applies(self, tmp_path):
+        plan = mixed_plan()
+        _, ref = run_plan(tmp_path, "ref.jsonl", plan)
+        with ResultStore(str(tmp_path / "default.jsonl")) as store:
+            engine = CampaignEngine(
+                store=store, max_workers=0, fleet_schedule="steal"
+            )
+            results = engine.run(plan, fleet=True)
+            steal = {job: results[job] for job in plan}
+        assert steal == ref
 
 
 def _store_rows(path, backend):
